@@ -1,0 +1,334 @@
+(* Benchmark harness: one bechamel micro-benchmark per experiment area
+   (DESIGN.md Sec. 3's bench-target column) plus the printed series the
+   paper's artifacts correspond to (neighborhood-graph sizes, check
+   times, certificate sizes vs n).
+
+   Run with: dune exec bench/main.exe            (full)
+             dune exec bench/main.exe -- --fast  (shorter quota) *)
+
+open Lcp_graph
+open Lcp_local
+open Lcp
+
+let rng = Random.State.make [| 424242 |]
+
+(* ------------------------------------------------------------------ *)
+(* fixtures shared by the benchmarks                                    *)
+
+let grid55 = Instance.make (Builders.grid 5 5)
+let theta = Builders.theta 4 4 4
+
+let certified suite g = Option.get (Decoder.certify suite (Instance.make g))
+let d1_inst = certified D_degree_one.suite (Builders.path 8)
+let cyc_inst = certified D_even_cycle.suite (Builders.cycle 8)
+let union_inst = certified D_union.suite (Builders.path 8)
+let shatter_inst = certified D_shatter.suite (Builders.path 8)
+let wm_inst = certified D_watermelon.suite (Builders.watermelon [ 4; 4; 4 ])
+let spanning_inst = certified D_spanning.suite (Builders.grid 3 3)
+let trivial_inst = certified (D_trivial.suite ~k:2) (Builders.grid 3 3)
+
+let d1_family =
+  Neighborhood.exhaustive_family D_degree_one.suite
+    ~graphs:
+      (List.filter
+         (fun g -> Coloring.is_bipartite g && Graph.min_degree g = 1)
+         (Enumerate.connected_up_to_iso 4))
+    ()
+
+let extraction_family =
+  let suite = D_trivial.suite ~k:2 in
+  List.filter_map
+    (fun g -> Decoder.certify suite (Instance.make g))
+    [ Builders.path 4; Builders.path 5; Builders.cycle 4; Builders.cycle 6 ]
+
+let extractor =
+  Option.get
+    (Extractor.of_verdict
+       (Hiding.check ~k:2 (D_trivial.decoder ~k:2) extraction_family))
+
+let rotation_instances =
+  let g = Builders.path 5 in
+  List.init 5 (fun k ->
+      let ids = Array.init 5 (fun v -> 1 + ((k + v) mod 5)) in
+      Instance.make g ~ids:(Ident.of_array ~bound:5 ids))
+
+let accept_all =
+  Decoder.make ~name:"accept-all" ~radius:1 ~anonymous:false (fun _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* bechamel tests (one per experiment id)                               *)
+
+let stage = Bechamel.Staged.stage
+
+let tests =
+  let open Bechamel in
+  [
+    (* E1 *)
+    Test.make ~name:"E1/forgetful-check-theta444"
+      (stage (fun () -> Forgetful.is_r_forgetful theta ~r:1));
+    Test.make ~name:"E1/escape-path-torus7x7"
+      (let torus = Builders.torus 7 7 in
+       stage (fun () -> Forgetful.escape_path torus ~r:1 ~v:0 ~u:1));
+    (* E2 / E13 *)
+    Test.make ~name:"E2/view-extract-r2-grid5x5"
+      (stage (fun () -> View.extract grid55 ~r:2 12));
+    Test.make ~name:"E2/view-key-anonymous"
+      (let v = View.extract grid55 ~r:2 12 in
+       stage (fun () -> View.key_anonymous v));
+    Test.make ~name:"E13/sync-flood-r2-grid5x5"
+      (stage (fun () -> Sync_runner.run grid55 ~rounds:2));
+    (* E3-E8: decoder evaluation throughput (all nodes of one instance) *)
+    Test.make ~name:"E3/decode-degree-one-P8"
+      (stage (fun () -> Decoder.run D_degree_one.decoder d1_inst));
+    Test.make ~name:"E4/decode-even-cycle-C8"
+      (stage (fun () -> Decoder.run D_even_cycle.decoder cyc_inst));
+    Test.make ~name:"E5/decode-union-P8"
+      (stage (fun () -> Decoder.run D_union.decoder union_inst));
+    Test.make ~name:"E6/decode-shatter-P8"
+      (stage (fun () -> Decoder.run D_shatter.decoder shatter_inst));
+    Test.make ~name:"E7/decode-watermelon-[4;4;4]"
+      (stage (fun () -> Decoder.run D_watermelon.decoder wm_inst));
+    Test.make ~name:"E8/decode-trivial-grid3x3"
+      (stage (fun () -> Decoder.run (D_trivial.decoder ~k:2) trivial_inst));
+    Test.make ~name:"E8/decode-spanning-grid3x3"
+      (stage (fun () -> Decoder.run D_spanning.decoder spanning_inst));
+    (* provers *)
+    Test.make ~name:"E3/prove-degree-one-P8"
+      (stage (fun () -> D_degree_one.prover d1_inst));
+    Test.make ~name:"E6/prove-shatter-P8"
+      (stage (fun () -> D_shatter.prover shatter_inst));
+    Test.make ~name:"E7/prove-watermelon-[4;4;4]"
+      (stage (fun () -> D_watermelon.prover wm_inst));
+    (* E3: certificate search on a no-instance *)
+    Test.make ~name:"E3/search-certificates-C5"
+      (let c5 = Instance.make (Builders.cycle 5) in
+       stage (fun () ->
+           Prover.find_accepted D_degree_one.decoder
+             ~alphabet:D_degree_one.alphabet c5));
+    (* E8: neighborhood graph construction + hiding verdicts *)
+    Test.make ~name:"E8/build-V(degree-one,4)"
+      (stage (fun () -> Neighborhood.build D_degree_one.decoder d1_family));
+    Test.make ~name:"E8/hiding-verdict-degree-one"
+      (stage (fun () -> Hiding.check ~k:2 D_degree_one.decoder d1_family));
+    Test.make ~name:"E8/extract-coloring-C6"
+      (let c6 = List.nth extraction_family 3 in
+       stage (fun () -> Extractor.extract extractor c6));
+    (* E9: realizability pipeline *)
+    Test.make ~name:"E9/realize-G_bad"
+      (let nbhd = Neighborhood.build accept_all rotation_instances in
+       let cyc = Option.get (Neighborhood.odd_cycle nbhd) in
+       let h = Realizability.of_neighborhood nbhd cyc in
+       let pool =
+         List.concat_map
+           (fun i -> Array.to_list (View.extract_all i ~r:1))
+           rotation_instances
+       in
+       stage (fun () -> Realizability.lemma_5_1 accept_all ~pool h));
+    (* E10: walk surgery *)
+    Test.make ~name:"E10/edge-expansion-C12"
+      (let wm = Builders.watermelon [ 6; 6 ] in
+       stage (fun () -> Nb_walks.edge_expansion wm ~r:1 ~u:2 ~v:3));
+    Test.make ~name:"E10/repair-backtracking-theta"
+      (let tour = Walks.splice [ 0; 2; 3; 4; 1; 7; 6; 5 ] 1 [ 2; 0 ] in
+       stage (fun () -> Nb_walks.repair_backtracking theta tour));
+    (* E11: Ramsey *)
+    Test.make ~name:"E11/arrows-6-(3,3)"
+      (stage (fun () -> Ramsey.arrows ~n:6 ~s:3 ~t:3));
+    (* E12 is a size series (printed below); adversaries: *)
+    Test.make ~name:"E3/strong-random-500-trials"
+      (let inst = Instance.make (Builders.pendant (Builders.cycle 3) 0) in
+       stage (fun () ->
+           Checker.strong_soundness_random D_degree_one.suite ~k:2 ~trials:500 rng
+             [ inst ]));
+    (* E14: SLOCAL *)
+    Test.make ~name:"E14/slocal-greedy-petersen"
+      (let inst = Instance.make (Builders.petersen ()) in
+       stage (fun () -> Slocal.execute_canonical (Slocal.greedy_coloring ~radius:1) inst));
+    (* E15: quantified hiding (exact search over extractors) *)
+    Test.make ~name:"E15/quantified-best-extractor-C4"
+      (let fam =
+         Neighborhood.exhaustive_family D_even_cycle.suite
+           ~graphs:[ Builders.cycle 4 ] ~ports:`All ()
+       in
+       let nbhd = Neighborhood.build D_even_cycle.decoder fam in
+       stage (fun () -> Quantified.best_extractor ~k:2 nbhd fam));
+    (* E16: the k = 3 decoder *)
+    Test.make ~name:"E16/decode-hidden-leaf3-P8"
+      (let inst =
+         Option.get
+           (Decoder.certify (D_hidden_leaf.suite ~k:3)
+              (Instance.make (Builders.path 8)))
+       in
+       stage (fun () -> Decoder.run (D_hidden_leaf.decoder ~k:3) inst));
+    (* E20: the 1-bit 2-round decoder *)
+    Test.make ~name:"E20/decode-edge-bit-C8"
+      (let inst =
+         Option.get (Decoder.certify D_edge_bit.suite (Instance.make (Builders.cycle 8)))
+       in
+       stage (fun () -> Decoder.run D_edge_bit.decoder inst));
+    (* E18: resilient wrapper *)
+    Test.make ~name:"E18/decode-resilient-grid3x3"
+      (let res = Resilient.wrap (D_trivial.suite ~k:2) in
+       let inst =
+         Option.get (Decoder.certify res (Instance.make (Builders.grid 3 3)))
+       in
+       stage (fun () -> Decoder.run res.Decoder.dec inst));
+    (* E13: async runner *)
+    Test.make ~name:"E13/async-quiescence-C8"
+      (let inst = Instance.make (Builders.cycle 8) in
+       stage (fun () -> Async_runner.run_to_quiescence inst));
+    (* serialization *)
+    Test.make ~name:"codec/instance-json-roundtrip"
+      (let inst =
+         Option.get
+           (Decoder.certify D_shatter.suite (Instance.make (Builders.path 8)))
+       in
+       stage (fun () ->
+           Codec.instance_of_json (Codec.instance_to_json inst)));
+    (* substrate *)
+    Test.make ~name:"substrate/two-color-grid8x8"
+      (let g = Builders.grid 8 8 in
+       stage (fun () -> Coloring.two_color g));
+    Test.make ~name:"substrate/odd-cycle-petersen"
+      (let g = Builders.petersen () in
+       stage (fun () -> Coloring.odd_cycle g));
+    Test.make ~name:"substrate/diameter-grid8x8"
+      (let g = Builders.grid 8 8 in
+       stage (fun () -> Metrics.diameter g));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* bechamel driver                                                      *)
+
+let run_benchmarks ~fast () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let quota = Time.second (if fast then 0.05 else 0.5) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  Printf.printf "%-42s %14s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 58 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let stats = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          Printf.printf "%-42s %14.1f\n%!" name ns)
+        stats)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* printed series (the shape results the paper's artifacts map to)      *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let series_neighborhood () =
+  Printf.printf "\n== series: |V(D,n)| for the even-cycle decoder on C_n (E4/E8)\n";
+  Printf.printf "%6s %10s %10s %12s %10s\n" "n" "instances" "|V|" "edges" "secs";
+  List.iter
+    (fun n ->
+      let fam, secs =
+        time (fun () ->
+            Neighborhood.exhaustive_family D_even_cycle.suite
+              ~graphs:[ Builders.cycle n ] ~ports:`All ())
+      in
+      let nbhd, secs2 =
+        time (fun () -> Neighborhood.build D_even_cycle.decoder fam)
+      in
+      Printf.printf "%6d %10d %10d %12d %10.3f\n" n (List.length fam)
+        (Neighborhood.order nbhd) (Neighborhood.size nbhd) (secs +. secs2))
+    [ 4; 6; 8 ]
+
+let series_cert_sizes () =
+  Printf.printf "\n== series: honest certificate sizes in bits (E12)\n";
+  Printf.printf "%6s %10s %10s %10s %10s %10s\n" "n" "trivial" "deg-one"
+    "spanning" "shatter" "melon";
+  List.iter
+    (fun n ->
+      let bits suite g =
+        match Decoder.certify suite (Instance.make g) with
+        | Some i -> string_of_int (Labeling.max_bits i.Instance.labels)
+        | None -> "n/a" (* outside the promise class at this size *)
+      in
+      Printf.printf "%6d %10s %10s %10s %10s %10s\n" n
+        (bits (D_trivial.suite ~k:2) (Builders.path n))
+        (bits D_degree_one.suite (Builders.path n))
+        (bits D_spanning.suite (Builders.path n))
+        (bits D_shatter.suite (Builders.path n))
+        (bits D_watermelon.suite (Builders.watermelon [ n; n ])))
+    [ 4; 8; 16; 32 ]
+
+let series_strong_checks () =
+  Printf.printf
+    "\n== series: exhaustive strong-soundness cost, degree-one decoder (E3)\n";
+  Printf.printf "%6s %14s %10s\n" "n" "labelings" "secs";
+  List.iter
+    (fun n ->
+      let g = Builders.path n in
+      let inst = Instance.make g in
+      let labelings = Labeling.count ~alphabet:D_degree_one.alphabet g in
+      let verdict, secs =
+        time (fun () ->
+            Checker.strong_soundness_exhaustive D_degree_one.suite ~k:2 [ inst ])
+      in
+      assert (Checker.is_pass verdict);
+      Printf.printf "%6d %14d %10.3f\n" n labelings secs)
+    [ 3; 4; 5; 6 ]
+
+let series_scaling () =
+  Printf.printf "\n== series: decoder throughput on large rings (substrate scaling)\n";
+  Printf.printf "%8s %12s %12s %10s\n" "n" "prove(ms)" "decode(ms)" "accept";
+  List.iter
+    (fun n ->
+      let t0 = Unix.gettimeofday () in
+      let inst =
+        Option.get
+          (Decoder.certify D_even_cycle.suite (Instance.make (Builders.cycle n)))
+      in
+      let t1 = Unix.gettimeofday () in
+      let ok = Decoder.accepts_all D_even_cycle.decoder inst in
+      let t2 = Unix.gettimeofday () in
+      Printf.printf "%8d %12.1f %12.1f %10b\n" n
+        ((t1 -. t0) *. 1000.0)
+        ((t2 -. t1) *. 1000.0)
+        ok)
+    [ 100; 1000; 10000; 50000 ]
+
+let series_sync () =
+  Printf.printf
+    "\n== series: flooding vs View.extract, random connected graphs (E13)\n";
+  Printf.printf "%6s %8s %10s %10s\n" "n" "rounds" "messages" "match";
+  List.iter
+    (fun n ->
+      let g = Builders.random_connected rng n 0.2 in
+      let inst = Instance.random rng g in
+      List.iter
+        (fun r ->
+          Printf.printf "%6d %8d %10d %10b\n" n r
+            (Sync_runner.messages_sent g ~rounds:r)
+            (Sync_runner.knowledge_matches_view inst ~r))
+        [ 1; 2 ])
+    [ 8; 16; 24 ]
+
+let () =
+  let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
+  Printf.printf "LCP benchmark harness (bechamel)%s\n\n"
+    (if fast then " [fast]" else "");
+  run_benchmarks ~fast ();
+  series_neighborhood ();
+  series_cert_sizes ();
+  series_strong_checks ();
+  series_scaling ();
+  series_sync ();
+  Printf.printf "\nbench done.\n"

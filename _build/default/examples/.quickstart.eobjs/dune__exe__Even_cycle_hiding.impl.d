@@ -1,0 +1,1 @@
+examples/even_cycle_hiding.ml: Array Builders Checker D_even_cycle Decoder Format Hiding Instance Lcp Lcp_graph Lcp_local List Neighborhood Option Prover Random

@@ -1,0 +1,1 @@
+examples/even_cycle_hiding.mli:

@@ -1,0 +1,1 @@
+examples/forgetful_survey.ml: Builders Forgetful Format Graph Lcp_graph List Metrics String

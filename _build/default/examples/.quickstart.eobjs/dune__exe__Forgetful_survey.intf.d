@@ -1,0 +1,1 @@
+examples/forgetful_survey.mli:

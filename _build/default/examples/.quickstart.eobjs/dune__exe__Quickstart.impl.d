@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builders Checker Coloring D_degree_one Decoder Format Graph Hiding Instance Lcp Lcp_graph Lcp_local List Neighborhood Random String

@@ -1,0 +1,1 @@
+examples/resilient_demo.ml: Array Async_runner Builders Codec D_trivial Decoder Filename Format Graph Instance Labeling Lcp Lcp_graph Lcp_local List Option Resilient String Sys

@@ -1,0 +1,1 @@
+examples/shatter_demo.ml: Array Builders Bytes Certificate D_shatter Decoder Format Graph Hiding Ident Instance Lcp Lcp_graph Lcp_local List Option Printf

@@ -1,0 +1,1 @@
+examples/shatter_demo.mli:

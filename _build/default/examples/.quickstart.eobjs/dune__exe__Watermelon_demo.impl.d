@@ -1,0 +1,1 @@
+examples/watermelon_demo.ml: Array Builders Certificate D_watermelon Decoder Format Graph Instance Lcp Lcp_graph Lcp_local List Option Prover String

@@ -1,0 +1,1 @@
+examples/watermelon_demo.mli:

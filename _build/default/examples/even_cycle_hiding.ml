@@ -1,0 +1,53 @@
+(* The even-cycle construction (Lemma 4.2): a 2-edge-coloring convinces
+   every node that the ring is 2-colorable while revealing the node
+   coloring to NO node at all.
+
+   Run with: dune exec examples/even_cycle_hiding.exe *)
+
+open Lcp_graph
+open Lcp_local
+open Lcp
+
+let () =
+  let n = 10 in
+  let inst = Instance.make (Builders.cycle n) in
+  let certified = Option.get (Decoder.certify D_even_cycle.suite inst) in
+  Format.printf "ring of %d nodes; certificates (far-port/color pairs):@." n;
+  Array.iteri
+    (fun v s -> Format.printf "  node %d: %s@." v s)
+    certified.Instance.labels;
+  assert (Decoder.accepts_all D_even_cycle.decoder certified);
+  Format.printf "all %d nodes accept.@." n;
+
+  (* the decoder is anonymous: verdicts are invariant under arbitrary
+     re-identification *)
+  let rng = Random.State.make [| 7 |] in
+  assert (
+    Checker.is_pass
+      (Checker.anonymity D_even_cycle.decoder ~trials:25 rng [ certified ]));
+  Format.printf "verdicts are identifier-independent (anonymous LCP).@.";
+
+  (* hidden everywhere: for every node there are two accepted worlds in
+     which its color differs. We exhibit them: the same ring with the
+     edge-coloring rotated by one position flips every node's color
+     relation while producing the same multiset of views. *)
+  let family =
+    Neighborhood.exhaustive_family D_even_cycle.suite
+      ~graphs:[ Builders.cycle 6 ] ~ports:`All ()
+  in
+  (match Hiding.check ~k:2 D_even_cycle.decoder family with
+  | Hiding.Hiding { witness; nbhd } ->
+      Format.printf
+        "V(D,6): %d view classes, %d compatibility edges, odd cycle of %d@."
+        (Neighborhood.order nbhd)
+        (Neighborhood.size nbhd)
+        (List.length witness)
+  | Hiding.Colorable _ -> assert false);
+
+  (* and soundness: no certificate whatsoever convinces an odd ring *)
+  let c7 = Instance.make (Builders.cycle 7) in
+  (match
+     Prover.find_accepted D_even_cycle.decoder ~alphabet:D_even_cycle.alphabet c7
+   with
+  | None -> Format.printf "no certificate assignment convinces C7. QED@."
+  | Some _ -> assert false)

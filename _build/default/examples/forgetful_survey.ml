@@ -1,0 +1,48 @@
+(* Survey of the r-forgetful property (Sec. 1.3, Fig. 1) across graph
+   families, with escape-path witnesses and the Lemma 2.1 diameter
+   bound.
+
+   Run with: dune exec examples/forgetful_survey.exe *)
+
+open Lcp_graph
+
+let survey name g =
+  let diam = Metrics.diameter g in
+  let maxr = Forgetful.max_forgetful_radius g in
+  Format.printf "%-20s n=%-4d diam=%-3s max forgetful radius=%d  (Lemma 2.1: %b)@."
+    name (Graph.order g)
+    (if diam = max_int then "inf" else string_of_int diam)
+    maxr
+    (maxr = 0 || diam >= (2 * maxr) + 1)
+
+let () =
+  Format.printf "r-forgetfulness (strict-increase reading) across families:@.";
+  survey "cycle C9" (Builders.cycle 9);
+  survey "cycle C15" (Builders.cycle 15);
+  survey "theta(4,4,4)" (Builders.theta 4 4 4);
+  survey "theta(6,6,6)" (Builders.theta 6 6 6);
+  survey "watermelon[6;6;6]" (Builders.watermelon [ 6; 6; 6 ]);
+  survey "torus 7x7" (Builders.torus 7 7);
+  survey "torus 9x9" (Builders.torus 9 9);
+  survey "grid 6x6" (Builders.grid 6 6);
+  survey "path P12" (Builders.path 12);
+  survey "binary tree d=3" (Builders.binary_tree 3);
+  survey "hypercube Q4" (Builders.hypercube 4);
+  survey "complete K6" (Builders.complete 6);
+  survey "petersen" (Builders.petersen ());
+
+  (* one witness in detail: escaping along a cycle *)
+  let g = Builders.cycle 9 in
+  (match Forgetful.escape_path g ~r:1 ~v:0 ~u:1 with
+  | Some p ->
+      Format.printf
+        "@.escape in C9, arriving at 0 from 1: path %s moves away from all of N^1(1)@."
+        (String.concat "->" (List.map string_of_int p))
+  | None -> assert false);
+
+  (* and a failure in detail: a leaf is trapped *)
+  match Forgetful.check (Builders.path 5) ~r:1 with
+  | Forgetful.Not_forgetful { v; u } ->
+      Format.printf "P5 is not 1-forgetful: arriving at %d from %d leaves no escape@."
+        v u
+  | Forgetful.Forgetful _ -> assert false

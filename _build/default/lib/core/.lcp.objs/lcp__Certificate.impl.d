@@ -1,0 +1,1 @@
+lib/core/certificate.ml: List String

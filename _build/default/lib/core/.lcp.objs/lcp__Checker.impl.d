@@ -1,0 +1,1 @@
+lib/core/checker.ml: Array Coloring Decoder Format Instance Labeling Lcp_graph Lcp_local List Local_algo Option Printf Prover Random String

@@ -1,0 +1,1 @@
+lib/core/checker.mli: Decoder Format Instance Lcp_local Random

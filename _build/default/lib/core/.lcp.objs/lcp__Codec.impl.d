@@ -1,0 +1,1 @@
+lib/core/codec.ml: Array Decoder Graph Ident Instance Json Lcp_graph Lcp_local List Report Result

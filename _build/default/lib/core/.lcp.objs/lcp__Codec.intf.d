@@ -1,0 +1,1 @@
+lib/core/codec.mli: Decoder Graph Instance Json Lcp_graph Lcp_local Report

@@ -1,0 +1,1 @@
+lib/core/d_degree_one.ml: Array Coloring Decoder Graph Instance Lcp_graph Lcp_local List Option Stdlib View

@@ -1,0 +1,1 @@
+lib/core/d_degree_one.mli: Decoder Instance Labeling Lcp_local

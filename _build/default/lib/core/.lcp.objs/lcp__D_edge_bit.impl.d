@@ -1,0 +1,1 @@
+lib/core/d_edge_bit.ml: Array Decoder Graph Hashtbl Instance Lcp_graph Lcp_local List Option Port View

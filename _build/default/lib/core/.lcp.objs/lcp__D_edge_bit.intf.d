@@ -1,0 +1,1 @@
+lib/core/d_edge_bit.mli: Decoder Instance Labeling Lcp_local

@@ -1,0 +1,1 @@
+lib/core/d_even_cycle.ml: Array Certificate Decoder Graph Hashtbl Instance Lcp_graph Lcp_local List Port Printf View

@@ -1,0 +1,1 @@
+lib/core/d_even_cycle.mli: Decoder Instance Labeling Lcp_local

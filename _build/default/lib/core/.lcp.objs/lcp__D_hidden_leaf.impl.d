@@ -1,0 +1,1 @@
+lib/core/d_hidden_leaf.ml: Array Certificate Coloring Decoder Graph Instance Lcp_graph Lcp_local List Option Printf Stdlib View

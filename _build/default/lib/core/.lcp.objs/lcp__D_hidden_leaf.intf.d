@@ -1,0 +1,1 @@
+lib/core/d_hidden_leaf.mli: Decoder Instance Labeling Lcp_local

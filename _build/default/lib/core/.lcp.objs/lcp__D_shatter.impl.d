@@ -1,0 +1,1 @@
+lib/core/d_shatter.ml: Array Certificate Char Coloring Decoder Graph Hashtbl Ident Instance Lcp_graph Lcp_local List Option Printf Stdlib String View

@@ -1,0 +1,1 @@
+lib/core/d_shatter.mli: Decoder Graph Instance Labeling Lcp_graph Lcp_local

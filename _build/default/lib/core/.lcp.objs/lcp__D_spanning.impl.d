@@ -1,0 +1,1 @@
+lib/core/d_spanning.ml: Array Certificate Coloring Decoder Graph Ident Instance Lcp_graph Lcp_local List Metrics Option Printf View

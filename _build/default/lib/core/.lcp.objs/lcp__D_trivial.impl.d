@@ -1,0 +1,1 @@
+lib/core/d_trivial.ml: Array Certificate Coloring Decoder Instance Lcp_graph Lcp_local List Option Printf View

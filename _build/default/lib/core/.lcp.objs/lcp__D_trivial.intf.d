@@ -1,0 +1,1 @@
+lib/core/d_trivial.mli: Decoder Instance Labeling Lcp_local

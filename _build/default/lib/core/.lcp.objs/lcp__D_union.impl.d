@@ -1,0 +1,1 @@
+lib/core/d_union.ml: Array D_degree_one D_even_cycle Decoder Graph Instance Lcp_graph Lcp_local List String View

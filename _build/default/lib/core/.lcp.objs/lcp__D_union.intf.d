@@ -1,0 +1,1 @@
+lib/core/d_union.mli: Decoder Instance Labeling Lcp_local

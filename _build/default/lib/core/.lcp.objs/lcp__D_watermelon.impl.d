@@ -1,0 +1,1 @@
+lib/core/d_watermelon.ml: Array Certificate Coloring Decoder Graph Hashtbl Ident Instance Lcp_graph Lcp_local List Metrics Option Port Printf Stdlib View

@@ -1,0 +1,1 @@
+lib/core/decoder.ml: Array Graph Instance Labeling Lcp_graph Lcp_local List Local_algo Option View

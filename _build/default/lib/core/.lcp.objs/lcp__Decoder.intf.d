@@ -1,0 +1,1 @@
+lib/core/decoder.mli: Graph Instance Labeling Lcp_graph Lcp_local Local_algo View

@@ -1,0 +1,1 @@
+lib/core/extractor.ml: Array Coloring Decoder Graph Hashtbl Hiding Instance Lcp_graph Lcp_local List Local_algo Neighborhood Option Printf

@@ -1,0 +1,1 @@
+lib/core/extractor.mli: Graph Hiding Instance Lcp_graph Lcp_local Local_algo Neighborhood

@@ -1,0 +1,1 @@
+lib/core/hiding.ml: Coloring Format Graph Lcp_graph List Neighborhood

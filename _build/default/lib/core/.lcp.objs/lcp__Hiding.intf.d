@@ -1,0 +1,1 @@
+lib/core/hiding.mli: Decoder Format Instance Lcp_graph Lcp_local Neighborhood

@@ -1,0 +1,1 @@
+lib/core/json.ml: Buffer Char List Printf Result String

@@ -1,0 +1,1 @@
+lib/core/nb_walks.ml: Array Forgetful Graph Lcp_graph Lcp_local List Metrics Neighborhood Option View Walks

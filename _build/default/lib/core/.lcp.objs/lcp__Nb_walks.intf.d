@@ -1,0 +1,1 @@
+lib/core/nb_walks.mli: Graph Instance Lcp_graph Lcp_local Neighborhood View

@@ -1,0 +1,1 @@
+lib/core/neighborhood.ml: Array Coloring Decoder Format Graph Hashtbl Ident Instance Lcp_graph Lcp_local List Option Port Printf Prover Stdlib View

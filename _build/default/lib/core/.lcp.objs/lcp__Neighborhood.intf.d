@@ -1,0 +1,1 @@
+lib/core/neighborhood.mli: Decoder Format Graph Instance Lcp_graph Lcp_local View

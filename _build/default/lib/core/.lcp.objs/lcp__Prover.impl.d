@@ -1,0 +1,1 @@
+lib/core/prover.ml: Array Decoder Graph Instance Labeling Lcp_graph Lcp_local List Metrics View

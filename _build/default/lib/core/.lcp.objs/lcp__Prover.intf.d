@@ -1,0 +1,1 @@
+lib/core/prover.mli: Decoder Instance Labeling Lcp_local

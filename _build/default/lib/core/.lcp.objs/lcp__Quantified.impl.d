@@ -1,0 +1,1 @@
+lib/core/quantified.ml: Array Graph Hashtbl Instance Lcp_graph Lcp_local List Neighborhood Option Random View

@@ -1,0 +1,1 @@
+lib/core/quantified.mli: Instance Lcp_local Neighborhood Random

@@ -1,0 +1,1 @@
+lib/core/ramsey.ml: Array Decoder Hashtbl Lcp_local List Stdlib View

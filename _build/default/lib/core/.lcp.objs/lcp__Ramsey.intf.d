@@ -1,0 +1,1 @@
+lib/core/ramsey.mli: Decoder Lcp_local View

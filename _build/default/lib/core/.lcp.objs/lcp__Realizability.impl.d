@@ -1,0 +1,1 @@
+lib/core/realizability.ml: Array Decoder Graph Hashtbl Ident Instance Lcp_graph Lcp_local List Neighborhood Option Printf Stdlib View

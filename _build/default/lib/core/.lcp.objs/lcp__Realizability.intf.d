@@ -1,0 +1,1 @@
+lib/core/realizability.mli: Decoder Instance Lcp_local Neighborhood View

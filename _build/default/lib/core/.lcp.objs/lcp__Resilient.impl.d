@@ -1,0 +1,1 @@
+lib/core/resilient.ml: Array Certificate Decoder Graph Instance Lcp_graph Lcp_local List Option Port Printf Stdlib String View

@@ -1,0 +1,1 @@
+lib/core/resilient.mli: Decoder Graph Instance Lcp_graph Lcp_local

@@ -1,0 +1,17 @@
+let fields s = String.split_on_char ':' s
+let join = String.concat ":"
+
+let int_field s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 && s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s ->
+      Some v
+  | _ -> None
+
+let bits_for_int ~max =
+  if max < 0 then invalid_arg "Certificate.bits_for_int";
+  let rec go bits cap = if cap > max then bits else go (bits + 1) (2 * cap) in
+  go 1 2
+
+let bits_for_id ~bound = bits_for_int ~max:bound
+
+let bits_of_parts parts = List.fold_left ( + ) 0 parts

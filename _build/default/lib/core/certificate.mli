@@ -1,0 +1,27 @@
+(** Certificate codecs with exact bit accounting.
+
+    Decoders keep their certificates human-readable (colon-separated
+    fields); this module provides the parsing helpers and the binary
+    size accounting used by the certificate-size experiments (E12):
+    [bits_*] report the size of the {e information-theoretic} binary
+    encoding of a field, independent of the readable representation. *)
+
+val fields : string -> string list
+(** Split on [':']. *)
+
+val join : string list -> string
+(** Inverse of [fields]. *)
+
+val int_field : string -> int option
+(** Parse a non-negative decimal field. *)
+
+val bits_for_int : max:int -> int
+(** Bits to encode an integer in [0 .. max]: [ceil(log2 (max+1))],
+    at least 1. *)
+
+val bits_for_id : bound:int -> int
+(** Bits for an identifier in [1 .. bound]. *)
+
+val bits_of_parts : int list -> int
+(** Sum of the parts (plus nothing — parts are already self-delimiting
+    in a length-prefixed encoding, which we charge to the constant). *)

@@ -1,0 +1,135 @@
+open Lcp_graph
+open Lcp_local
+
+type failure = { instance : Instance.t; detail : string }
+type verdict = Pass of { checked : int } | Fail of failure
+
+let is_pass = function Pass _ -> true | Fail _ -> false
+
+let pp_verdict ppf = function
+  | Pass { checked } -> Format.fprintf ppf "pass (%d checks)" checked
+  | Fail { detail; instance } ->
+      Format.fprintf ppf "FAIL: %s@ on %a" detail Instance.pp instance
+
+(* Fold with early exit on failure, counting checks. *)
+let fold_verdict instances f =
+  let rec go checked = function
+    | [] -> Pass { checked }
+    | inst :: rest -> (
+        match f inst with
+        | Ok more -> go (checked + more) rest
+        | Error failure -> Fail failure)
+  in
+  go 0 instances
+
+let completeness (suite : Decoder.suite) instances =
+  fold_verdict instances (fun inst ->
+      let g = inst.Instance.graph in
+      if not (suite.Decoder.promise g && Coloring.is_bipartite g) then Ok 0
+      else
+        match suite.Decoder.prover inst with
+        | None ->
+            Error
+              { instance = inst; detail = "honest prover failed on a yes-instance" }
+        | Some lab ->
+            let certified = Instance.with_labels inst lab in
+            let verdicts = Decoder.run suite.Decoder.dec certified in
+            let rejecting = ref [] in
+            Array.iteri (fun v ok -> if not ok then rejecting := v :: !rejecting) verdicts;
+            if !rejecting = [] then Ok 1
+            else
+              Error
+                {
+                  instance = certified;
+                  detail =
+                    Printf.sprintf "honest certificates rejected at node(s) %s"
+                      (String.concat ","
+                         (List.map string_of_int (List.rev !rejecting)));
+                })
+
+let soundness_exhaustive (suite : Decoder.suite) instances =
+  fold_verdict instances (fun inst ->
+      if Coloring.is_bipartite inst.Instance.graph then Ok 0
+      else
+        let alphabet = suite.Decoder.adversary_alphabet inst in
+        match Prover.find_accepted suite.Decoder.dec ~alphabet inst with
+        | None -> Ok 1
+        | Some lab ->
+            Error
+              {
+                instance = Instance.with_labels inst lab;
+                detail = "non-bipartite instance unanimously accepted";
+              })
+
+let check_strong (suite : Decoder.suite) ~k inst lab =
+  let candidate = Instance.with_labels inst lab in
+  let sub, _ = Decoder.accepted_subgraph suite.Decoder.dec candidate in
+  if Coloring.is_k_colorable sub ~k then None
+  else
+    Some
+      {
+        instance = candidate;
+        detail =
+          Printf.sprintf "accepting nodes induce a non-%d-colorable subgraph" k;
+      }
+
+let strong_soundness_exhaustive (suite : Decoder.suite) ~k instances =
+  fold_verdict instances (fun inst ->
+      let alphabet = suite.Decoder.adversary_alphabet inst in
+      let checked = ref 0 in
+      let exception Failed of failure in
+      try
+        Labeling.iter_all ~alphabet inst.Instance.graph (fun lab ->
+            incr checked;
+            match check_strong suite ~k inst (Array.copy lab) with
+            | None -> ()
+            | Some failure -> raise (Failed failure));
+        Ok !checked
+      with Failed failure -> Error failure)
+
+let strong_soundness_random (suite : Decoder.suite) ~k ~trials rng instances =
+  fold_verdict instances (fun inst ->
+      let alphabet = suite.Decoder.adversary_alphabet inst in
+      let n = Instance.order inst in
+      let alphabet_arr = Array.of_list alphabet in
+      let m = Array.length alphabet_arr in
+      let honest = suite.Decoder.prover inst in
+      let exception Failed of failure in
+      let sample i =
+        if i mod 2 = 0 || honest = None then
+          Labeling.random rng ~alphabet inst.Instance.graph
+        else begin
+          (* mutate 1-2 positions of the honest labeling *)
+          let lab = Array.copy (Option.get honest) in
+          let flips = 1 + Random.State.int rng 2 in
+          for _ = 1 to flips do
+            lab.(Random.State.int rng n) <- alphabet_arr.(Random.State.int rng m)
+          done;
+          lab
+        end
+      in
+      try
+        for i = 1 to trials do
+          match check_strong suite ~k inst (sample i) with
+          | None -> ()
+          | Some failure -> raise (Failed failure)
+        done;
+        Ok trials
+      with Failed failure -> Error failure)
+
+let invariance_check ~checker dec ~trials rng instances =
+  fold_verdict instances (fun inst ->
+      let algo = Decoder.as_local_algo dec in
+      if checker algo inst ~trials rng then Ok trials
+      else
+        Error
+          {
+            instance = inst;
+            detail = "decoder output changed under re-identification";
+          })
+
+let anonymity dec ~trials rng instances =
+  invariance_check ~checker:Local_algo.is_anonymous_on dec ~trials rng instances
+
+let order_invariance dec ~trials rng instances =
+  invariance_check ~checker:Local_algo.is_order_invariant_on dec ~trials rng instances

@@ -1,0 +1,54 @@
+(** Machine checks of the LCP correctness properties (paper Secs. 2.2,
+    2.3, 2.5) on finite instance spaces.
+
+    The paper's properties are universally quantified; on small orders
+    we check them literally (exhaustive modes) and beyond that we attack
+    them with randomized and mutation-based adversaries. Every failure
+    carries a concrete counterexample. *)
+
+open Lcp_local
+
+type failure = {
+  instance : Instance.t;  (** with the offending labeling installed *)
+  detail : string;
+}
+
+type verdict = Pass of { checked : int } | Fail of failure
+
+val completeness : Decoder.suite -> Instance.t list -> verdict
+(** For every instance whose graph is in the promise class (and
+    2-colorable), the honest prover must return certificates accepted by
+    every node; instances outside the class are skipped. *)
+
+val soundness_exhaustive :
+  Decoder.suite -> Instance.t list -> verdict
+(** For every instance whose graph is {e not} 2-colorable, no labeling
+    over the adversary alphabet may be unanimously accepted. *)
+
+val strong_soundness_exhaustive :
+  Decoder.suite -> k:int -> Instance.t list -> verdict
+(** Strong (promise) soundness, literally: over {e all} labelings of
+    {e each} given instance, the accepting-node-induced subgraph must be
+    k-colorable. Cost is |alphabet|^n per instance (with acceptance
+    pruning not applicable — every labeling must be inspected), so keep
+    instances small. *)
+
+val strong_soundness_random :
+  Decoder.suite ->
+  k:int ->
+  trials:int ->
+  Random.State.t ->
+  Instance.t list ->
+  verdict
+(** Randomized adversary: uniform labelings plus mutations of honest
+    certificates (when the prover succeeds), which probe the
+    near-acceptance region where violations would hide. *)
+
+val anonymity : Decoder.t -> trials:int -> Random.State.t -> Instance.t list -> verdict
+(** Empirical anonymity of the decoder on the given instances. *)
+
+val order_invariance :
+  Decoder.t -> trials:int -> Random.State.t -> Instance.t list -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val is_pass : verdict -> bool

@@ -1,0 +1,83 @@
+open Lcp_graph
+open Lcp_local
+
+let bot = "B"
+let top = "T"
+
+type cert = Bot | Top | Color of int
+
+let parse = function
+  | "B" -> Some Bot
+  | "T" -> Some Top
+  | "0" -> Some (Color 0)
+  | "1" -> Some (Color 1)
+  | _ -> None
+
+let accepts view =
+  let neighbor_certs =
+    List.map (fun (w, _, _) -> parse (View.label view w)) (View.center_neighbors view)
+  in
+  match parse (View.center_label view) with
+  | None -> false
+  | Some _ when List.exists Option.is_none neighbor_certs -> false
+  | Some mine -> (
+      let neighbors = List.map Option.get neighbor_certs in
+      match mine with
+      | Bot ->
+          (* rule 1: degree one, unique neighbor labeled top *)
+          (match neighbors with [ Top ] -> true | _ -> false)
+      | Top ->
+          (* rule 2: exactly one bot neighbor; the rest share one color *)
+          let bots = List.filter (fun c -> c = Bot) neighbors in
+          let colors =
+            List.filter_map (function Color c -> Some c | Bot | Top -> None) neighbors
+          in
+          List.length bots = 1
+          && List.length colors = List.length neighbors - 1
+          && List.sort_uniq Stdlib.compare colors |> List.length <= 1
+      | Color mine ->
+          (* rule 3: at most one top neighbor; all others carry the
+             opposite color *)
+          let tops = List.filter (fun c -> c = Top) neighbors in
+          let rest = List.filter (fun c -> c <> Top) neighbors in
+          List.length tops <= 1
+          && List.for_all
+               (function Color c -> c = 1 - mine | Bot | Top -> false)
+               rest)
+
+let decoder = Decoder.make ~name:"degree-one" ~radius:1 ~anonymous:true accepts
+
+let prover (inst : Instance.t) =
+  let g = inst.Instance.graph in
+  match Coloring.two_color g with
+  | None -> None
+  | Some colors -> (
+      let leaf =
+        Graph.fold_nodes
+          (fun v acc -> if acc = None && Graph.degree g v = 1 then Some v else acc)
+          g None
+      in
+      match leaf with
+      | None -> None (* outside the promise class H1 *)
+      | Some u ->
+          let v =
+            match Graph.neighbors g u with [ w ] -> w | _ -> assert false
+          in
+          let lab =
+            Array.mapi
+              (fun x c ->
+                if x = u then bot else if x = v then top else string_of_int c)
+              colors
+          in
+          Some lab)
+
+let alphabet = [ bot; top; "0"; "1"; Decoder.junk ]
+
+let suite =
+  {
+    Decoder.dec = decoder;
+    promise = (fun g -> Graph.order g > 0 && Graph.min_degree g = 1);
+    prover;
+    adversary_alphabet = (fun _ -> alphabet);
+    cert_bits = (fun _ -> 2);
+  }

@@ -1,0 +1,114 @@
+open Lcp_graph
+open Lcp_local
+
+let parse = function "0" -> Some 0 | "1" -> Some 1 | _ -> None
+
+(* Satisfiability of the window system: variables are the visible
+   edges; [pins] fixes some of them; [diffs] are disequalities between
+   edge pairs (alternation at nodes with both edges visible). Brute
+   force - a radius-2 window on a cycle has at most 4 visible edges. *)
+let satisfiable ~edges ~pins ~diffs =
+  let m = List.length edges in
+  let index = Hashtbl.create m in
+  List.iteri (fun i e -> Hashtbl.replace index e i) edges;
+  let idx e = Hashtbl.find index e in
+  let rec go assignment i =
+    if i = m then
+      List.for_all (fun (e, c) -> assignment.(idx e) = c) pins
+      && List.for_all (fun (e1, e2) -> assignment.(idx e1) <> assignment.(idx e2)) diffs
+    else
+      List.exists
+        (fun c ->
+          assignment.(i) <- c;
+          go assignment (i + 1))
+        [ 0; 1 ]
+  in
+  m <= 20 && go (Array.make m 0) 0
+
+let accepts view =
+  let g = view.View.graph in
+  let interior u = View.full_degree_known view u in
+  (* the center and every interior node must look like cycle nodes *)
+  View.center_degree view = 2
+  && List.for_all
+       (fun u -> (not (interior u)) || Graph.degree g u = 2)
+       (Graph.nodes g)
+  && begin
+       let bits =
+         List.map (fun u -> parse (View.label view u)) (Graph.nodes g)
+       in
+       if List.exists Option.is_none bits then false
+       else begin
+         let bit = Array.of_list (List.map Option.get bits) in
+         let edges = Graph.edges g in
+         (* pins: a node whose port-1 edge is visible publishes its color *)
+         let pins =
+           List.concat_map
+             (fun (a, b) ->
+               let p1 =
+                 if View.port_of view a b = 1 then [ ((a, b), bit.(a)) ] else []
+               in
+               let p2 =
+                 if View.port_of view b a = 1 then [ ((a, b), bit.(b)) ] else []
+               in
+               p1 @ p2)
+             edges
+         in
+         (* alternation at every node with both edges visible *)
+         let diffs =
+           List.filter_map
+             (fun u ->
+               if not (interior u) then None
+               else
+                 match Graph.neighbors g u with
+                 | [ x; y ] ->
+                     let key a b = (min a b, max a b) in
+                     Some (key u x, key u y)
+                 | _ -> None)
+             (Graph.nodes g)
+         in
+         let keyed_edges = List.map (fun (a, b) -> (min a b, max a b)) edges in
+         let keyed_pins = List.map (fun ((a, b), c) -> ((min a b, max a b), c)) pins in
+         satisfiable ~edges:keyed_edges ~pins:keyed_pins ~diffs
+       end
+     end
+
+let decoder = Decoder.make ~name:"edge-bit" ~radius:2 ~anonymous:true accepts
+
+let prover (inst : Instance.t) =
+  let g = inst.Instance.graph in
+  if not (Graph.is_cycle g && Graph.order g mod 2 = 0) then None
+  else begin
+    let n = Graph.order g in
+    let color_tbl = Hashtbl.create n in
+    let edge_key u v = (min u v, max u v) in
+    let rec walk prev cur idx =
+      if idx = n then ()
+      else begin
+        let next =
+          match List.filter (fun w -> w <> prev) (Graph.neighbors g cur) with
+          | [ w ] -> w
+          | _ when prev = -1 -> List.hd (Graph.neighbors g cur)
+          | _ -> assert false
+        in
+        Hashtbl.replace color_tbl (edge_key cur next) (idx mod 2);
+        walk cur next (idx + 1)
+      end
+    in
+    walk (-1) 0 0;
+    Some
+      (Array.init n (fun v ->
+           let w1 = Port.neighbor_at inst.Instance.ports v 1 in
+           string_of_int (Hashtbl.find color_tbl (edge_key v w1))))
+  end
+
+let alphabet = [ "0"; "1"; Decoder.junk ]
+
+let suite =
+  {
+    Decoder.dec = decoder;
+    promise = (fun g -> Graph.is_cycle g && Graph.order g mod 2 = 0);
+    prover;
+    adversary_alphabet = (fun _ -> alphabet);
+    cert_bits = (fun _ -> 1);
+  }

@@ -1,0 +1,103 @@
+open Lcp_graph
+open Lcp_local
+
+let encode ~q1 ~c1 ~q2 ~c2 = Printf.sprintf "1:%d:%d:2:%d:%d" q1 c1 q2 c2
+
+type cert = { q1 : int; c1 : int; q2 : int; c2 : int }
+
+(* Well-formed: entries listed for own ports 1 then 2, far ports in
+   {1,2}, colors in {0,1} and distinct. Anything else is junk. *)
+let parse s =
+  match Certificate.fields s with
+  | [ "1"; q1; c1; "2"; q2; c2 ] -> (
+      match
+        ( Certificate.int_field q1,
+          Certificate.int_field c1,
+          Certificate.int_field q2,
+          Certificate.int_field c2 )
+      with
+      | Some q1, Some c1, Some q2, Some c2
+        when q1 >= 1 && q1 <= 2 && q2 >= 1 && q2 <= 2 && c1 <= 1 && c2 <= 1
+             && c1 <> c2 ->
+          Some { q1; c1; q2; c2 }
+      | _ -> None)
+  | _ -> None
+
+let entry cert port = if port = 1 then (cert.q1, cert.c1) else (cert.q2, cert.c2)
+
+let accepts view =
+  match parse (View.center_label view) with
+  | None -> false
+  | Some mine -> (
+      match View.center_neighbors view with
+      | [ (w1, p1, fp1); (w2, p2, fp2) ] when p1 = 1 && p2 = 2 ->
+          let check (w, my_port, far_port) =
+            let claimed_far, my_color = entry mine my_port in
+            claimed_far = far_port
+            &&
+            match parse (View.label view w) with
+            | None -> false
+            | Some theirs ->
+                let back_port, their_color = entry theirs far_port in
+                back_port = my_port && their_color = my_color
+          in
+          check (w1, p1, fp1) && check (w2, p2, fp2)
+      | _ -> false)
+
+let decoder = Decoder.make ~name:"even-cycle" ~radius:1 ~anonymous:true accepts
+
+let prover (inst : Instance.t) =
+  let g = inst.Instance.graph in
+  if not (Graph.is_cycle g && Graph.order g mod 2 = 0) then None
+  else begin
+    (* walk the cycle from node 0, 2-edge-coloring alternately *)
+    let n = Graph.order g in
+    let color_tbl = Hashtbl.create n in
+    let edge_key u v = (min u v, max u v) in
+    let rec walk prev cur idx =
+      if idx = n then ()
+      else begin
+        let next =
+          match List.filter (fun w -> w <> prev) (Graph.neighbors g cur) with
+          | [ w ] -> w
+          | _ when prev = -1 -> List.hd (Graph.neighbors g cur)
+          | _ -> assert false
+        in
+        Hashtbl.replace color_tbl (edge_key cur next) (idx mod 2);
+        walk cur next (idx + 1)
+      end
+    in
+    walk (-1) 0 0;
+    let lab =
+      Array.init n (fun v ->
+          let w1 = Port.neighbor_at inst.Instance.ports v 1 in
+          let w2 = Port.neighbor_at inst.Instance.ports v 2 in
+          let q1 = Port.port_of inst.Instance.ports w1 v in
+          let q2 = Port.port_of inst.Instance.ports w2 v in
+          encode ~q1 ~c1:(Hashtbl.find color_tbl (edge_key v w1)) ~q2
+            ~c2:(Hashtbl.find color_tbl (edge_key v w2)))
+    in
+    Some lab
+  end
+
+let alphabet =
+  let certs = ref [ Decoder.junk ] in
+  List.iter
+    (fun q1 ->
+      List.iter
+        (fun q2 ->
+          List.iter
+            (fun c1 -> certs := encode ~q1 ~c1 ~q2 ~c2:(1 - c1) :: !certs)
+            [ 0; 1 ])
+        [ 1; 2 ])
+    [ 1; 2 ];
+  !certs
+
+let suite =
+  {
+    Decoder.dec = decoder;
+    promise = (fun g -> Graph.is_cycle g && Graph.order g mod 2 = 0);
+    prover;
+    adversary_alphabet = (fun _ -> alphabet);
+    cert_bits = (fun _ -> 6);
+  }

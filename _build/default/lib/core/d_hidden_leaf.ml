@@ -1,0 +1,83 @@
+open Lcp_graph
+open Lcp_local
+
+type cert = Bot | Top | Color of int
+
+let parse ~k = function
+  | "B" -> Some Bot
+  | "T" -> Some Top
+  | s -> (
+      match Certificate.int_field s with
+      | Some c when c < k -> Some (Color c)
+      | _ -> None)
+
+let accepts ~k view =
+  let neighbor_certs =
+    List.map
+      (fun (w, _, _) -> parse ~k (View.label view w))
+      (View.center_neighbors view)
+  in
+  match parse ~k (View.center_label view) with
+  | None -> false
+  | Some _ when List.exists Option.is_none neighbor_certs -> false
+  | Some mine -> (
+      let neighbors = List.map Option.get neighbor_certs in
+      match mine with
+      | Bot -> (match neighbors with [ Top ] -> true | _ -> false)
+      | Top ->
+          let bots = List.filter (fun c -> c = Bot) neighbors in
+          let colors =
+            List.filter_map (function Color c -> Some c | Bot | Top -> None) neighbors
+          in
+          List.length bots = 1
+          && List.length colors = List.length neighbors - 1
+          (* the colored neighbors must leave a color free for the top
+             node itself: at most k - 1 distinct values *)
+          && List.length (List.sort_uniq Stdlib.compare colors) <= k - 1
+      | Color mine ->
+          let tops = List.filter (fun c -> c = Top) neighbors in
+          let rest = List.filter (fun c -> c <> Top) neighbors in
+          List.length tops <= 1
+          && List.for_all
+               (function Color c -> c <> mine | Bot | Top -> false)
+               rest)
+
+let decoder ~k =
+  Decoder.make
+    ~name:(Printf.sprintf "hidden-leaf-%d-col" k)
+    ~radius:1 ~anonymous:true (accepts ~k)
+
+let prover ~k (inst : Instance.t) =
+  let g = inst.Instance.graph in
+  match Coloring.k_color g ~k with
+  | None -> None
+  | Some colors -> (
+      let leaf =
+        Graph.fold_nodes
+          (fun v acc -> if acc = None && Graph.degree g v = 1 then Some v else acc)
+          g None
+      in
+      match leaf with
+      | None -> None
+      | Some u ->
+          let v =
+            match Graph.neighbors g u with [ w ] -> w | _ -> assert false
+          in
+          Some
+            (Array.mapi
+               (fun x c ->
+                 if x = u then "B" else if x = v then "T" else string_of_int c)
+               colors))
+
+let alphabet ~k = ("B" :: "T" :: List.init k string_of_int) @ [ Decoder.junk ]
+
+let suite ~k =
+  {
+    Decoder.dec = decoder ~k;
+    promise =
+      (fun g ->
+        Graph.order g > 0 && Graph.min_degree g = 1 && Coloring.is_k_colorable g ~k);
+    prover = prover ~k;
+    adversary_alphabet = (fun _ -> alphabet ~k);
+    cert_bits = (fun _ -> Certificate.bits_for_int ~max:(k + 1));
+  }

@@ -1,0 +1,28 @@
+(** The Theorem 1.3 decoder: a strong and hiding one-round LCP for
+    2-coloring on graphs admitting a shatter point, with certificates of
+    size [O(min(Delta^2, n) + log n)].
+
+    A node [v] is a shatter point when [G - N(v]] is disconnected. The
+    prover reveals a 2-coloring of every component of [G - N(v]]
+    separately (type-2 certificates), marks the shatter point (type 0)
+    and its neighbors (type 1, carrying the per-component color vector
+    seen from [N(v)]), and hides the colors of [N(v) u (v)] — which is
+    where the 2-coloring stays unrecoverable, because a component's
+    coloring can be flipped together with the bit in every type-1
+    vector. Soundness rests on the Lemma 7.1 characterization. *)
+
+open Lcp_graph
+open Lcp_local
+
+val shatter_point : Graph.t -> int option
+(** Some node [v] with [G - N(v]] disconnected, if one exists. *)
+
+val is_shatter_graph : Graph.t -> bool
+
+val encode_type0 : id:int -> string
+val encode_type1 : id:int -> colors:int list -> string
+val encode_type2 : id:int -> comp:int -> color:int -> string
+
+val decoder : Decoder.t
+val prover : Instance.t -> Labeling.t option
+val suite : Decoder.suite

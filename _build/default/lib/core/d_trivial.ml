@@ -1,0 +1,38 @@
+open Lcp_graph
+open Lcp_local
+
+let parse_color ~k s =
+  match Certificate.int_field s with
+  | Some c when c < k -> Some c
+  | _ -> None
+
+let accepts ~k view =
+  match parse_color ~k (View.center_label view) with
+  | None -> false
+  | Some mine ->
+      List.for_all
+        (fun (w, _, _) ->
+          match parse_color ~k (View.label view w) with
+          | Some c -> c <> mine
+          | None -> false)
+        (View.center_neighbors view)
+
+let decoder ~k =
+  Decoder.make
+    ~name:(Printf.sprintf "trivial-%d-col" k)
+    ~radius:1 ~anonymous:true (accepts ~k)
+
+let prover ~k (inst : Instance.t) =
+  Option.map
+    (Array.map string_of_int)
+    (Coloring.k_color inst.Instance.graph ~k)
+
+let suite ~k =
+  {
+    Decoder.dec = decoder ~k;
+    promise = (fun g -> Coloring.is_k_colorable g ~k);
+    prover = prover ~k;
+    adversary_alphabet =
+      (fun _ -> List.init k string_of_int @ [ Decoder.junk ]);
+    cert_bits = (fun _ -> Certificate.bits_for_int ~max:(k - 1));
+  }

@@ -1,0 +1,15 @@
+(** The classical (revealing) LCP for k-coloring (paper Sec. 1):
+    certificate = the node's own color in a proper k-coloring,
+    [ceil(log k)] bits; each node accepts iff its color is valid and
+    differs from all neighbors' colors.
+
+    This baseline is strongly sound (accepting nodes carry a proper
+    coloring among themselves) but {e not} hiding — its neighborhood
+    graph is k-colorable by construction and the Lemma 3.2 extractor
+    recovers the coloring everywhere. *)
+
+open Lcp_local
+
+val decoder : k:int -> Decoder.t
+val prover : k:int -> Instance.t -> Labeling.t option
+val suite : k:int -> Decoder.suite

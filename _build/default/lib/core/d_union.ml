@@ -1,0 +1,60 @@
+open Lcp_graph
+open Lcp_local
+
+let tag_of s =
+  if String.length s >= 2 && s.[1] = ':' then
+    match s.[0] with '1' -> Some 1 | '2' -> Some 2 | _ -> None
+  else None
+
+let payload s = String.sub s 2 (String.length s - 2)
+
+let accepts view =
+  match tag_of (View.center_label view) with
+  | None -> false
+  | Some tag ->
+      let sub =
+        if tag = 1 then D_degree_one.decoder.Decoder.accepts
+        else D_even_cycle.decoder.Decoder.accepts
+      in
+      (* all neighbors must carry the same tag; then the tag is stripped
+         (foreign or malformed certificates become junk) and the
+         sub-decoder takes over *)
+      let strip s =
+        match tag_of s with
+        | Some t when t = tag -> payload s
+        | Some _ | None -> Decoder.junk
+      in
+      List.for_all
+        (fun (w, _, _) -> tag_of (View.label view w) = Some tag)
+        (View.center_neighbors view)
+      && sub (View.map_labels view strip)
+
+let decoder = Decoder.make ~name:"union-H1-H2" ~radius:1 ~anonymous:true accepts
+
+let prover (inst : Instance.t) =
+  let g = inst.Instance.graph in
+  match D_degree_one.prover inst with
+  | Some lab -> Some (Array.map (fun s -> "1:" ^ s) lab)
+  | None -> (
+      match D_even_cycle.prover inst with
+      | Some lab -> Some (Array.map (fun s -> "2:" ^ s) lab)
+      | None ->
+          ignore g;
+          None)
+
+let alphabet =
+  List.map (fun s -> "1:" ^ s) D_degree_one.alphabet
+  @ List.map (fun s -> "2:" ^ s) D_even_cycle.alphabet
+  @ [ Decoder.junk ]
+
+let suite =
+  {
+    Decoder.dec = decoder;
+    promise =
+      (fun g ->
+        (Graph.order g > 0 && Graph.min_degree g = 1)
+        || (Graph.is_cycle g && Graph.order g mod 2 = 0));
+    prover;
+    adversary_alphabet = (fun _ -> alphabet);
+    cert_bits = (fun _ -> 7);
+  }

@@ -1,0 +1,32 @@
+(** The Theorem 1.4 decoder: a strong and hiding one-round LCP for
+    2-coloring on watermelon graphs, with [O(log n)]-bit certificates.
+
+    A watermelon graph consists of two endpoints joined by internally
+    disjoint paths of length at least 2. The prover publishes both
+    endpoint identifiers everywhere, numbers the paths, and reveals a
+    proper 2-{e edge}-coloring of every path that is monochromatic at
+    both endpoints. All cycles seen by accepting nodes are unions of two
+    such paths and hence even; the node coloring itself is hidden by the
+    same 2-edge-coloring trick as on cycles. *)
+
+open Lcp_graph
+open Lcp_local
+
+type decomposition = {
+  v1 : int;
+  v2 : int;
+  paths : int list list;
+      (** each path as the full node list [v1; ...; v2] *)
+}
+
+val decompose : Graph.t -> decomposition option
+(** Recognize a watermelon graph (endpoints auto-detected; on a cycle
+    the two endpoints are node 0 and a node at maximal distance). *)
+
+val encode_endpoint : id1:int -> id2:int -> string
+val encode_path_node :
+  id1:int -> id2:int -> num:int -> p1:int -> c1:int -> p2:int -> c2:int -> string
+
+val decoder : Decoder.t
+val prover : Instance.t -> Labeling.t option
+val suite : Decoder.suite

@@ -1,0 +1,41 @@
+(** The extraction decoder [D'] from the proof of Lemma 3.2.
+
+    Given a proper k-coloring [c] of the neighborhood graph, every node
+    looks its own view up in [V(D, n)] and outputs [c(view)]. On any
+    unanimously accepted instance whose views all appear in the
+    neighborhood graph, the outputs form a proper k-coloring — which is
+    precisely why such a decoder refutes hiding. *)
+
+open Lcp_graph
+open Lcp_local
+
+type t = {
+  algo : int Local_algo.t;
+  nbhd : Neighborhood.t;
+  coloring : int array;
+}
+
+val of_coloring : Neighborhood.t -> int array -> t
+(** @raise Invalid_argument if the coloring is not proper on the
+    neighborhood graph. *)
+
+val of_verdict : Hiding.verdict -> t option
+(** [Some] exactly on [Colorable] verdicts. *)
+
+val extract : t -> Instance.t -> int array
+(** Per-node colors; a node whose view is unknown to the neighborhood
+    graph outputs [-1] (extraction fails there). *)
+
+val extraction_succeeds : t -> Instance.t -> bool
+(** Did extraction produce a proper coloring with no [-1]s? *)
+
+val failure_nodes : t -> Instance.t -> int list
+(** Nodes where the output is [-1] or clashes with a neighbor — the
+    nodes where the witness stays hidden. *)
+
+val success_fraction : t -> Instance.t -> float
+(** Fraction of nodes that output a color consistent with all their
+    neighbors (the quantified-hiding measure the paper raises as future
+    work). *)
+
+val proper_on : t -> Instance.t -> Graph.t -> bool

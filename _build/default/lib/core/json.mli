@@ -1,0 +1,35 @@
+(** A minimal self-contained JSON implementation (no external
+    dependencies are available in the sealed build environment): enough
+    of RFC 8259 for this library's interchange needs — objects, arrays,
+    strings with escapes, integers and booleans. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering. *)
+
+val of_string : string -> (t, string) result
+(** Parse; the error carries a position-annotated message. Numbers with
+    fractional parts or exponents are rejected (this library only
+    exchanges integers). *)
+
+(** {1 Accessors} — all return [Error] with a readable message rather
+    than raising. *)
+
+val member : string -> t -> (t, string) result
+val to_int : t -> (int, string) result
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result
+val to_bool : t -> (bool, string) result
+
+val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+val map_m : ('a -> ('b, 'e) result) -> 'a list -> ('b list, 'e) result

@@ -1,0 +1,186 @@
+open Lcp_graph
+open Lcp_local
+
+let lift (nbhd : Neighborhood.t) inst walk =
+  let r = nbhd.Neighborhood.view_radius in
+  let lookup v = Neighborhood.find nbhd (View.extract inst ~r v) in
+  let lifted = List.map lookup walk in
+  if List.exists Option.is_none lifted then None
+  else Some (List.map Option.get lifted)
+
+let is_non_backtracking_views views =
+  let k = List.length views in
+  k >= 3
+  && begin
+       let arr = Array.of_list views in
+       let ok = ref true in
+       for i = 0 to k - 1 do
+         let pred = arr.((i + k - 1) mod k) and succ = arr.((i + 1) mod k) in
+         if View.center_id pred = View.center_id succ then ok := false
+       done;
+       !ok
+     end
+
+let far_node g ~r ~u ~v =
+  let du = Metrics.bfs_dist g u and dv = Metrics.bfs_dist g v in
+  Graph.fold_nodes
+    (fun w acc ->
+      if acc = None && du.(w) > 2 * r && dv.(w) > 2 * r && du.(w) <> max_int then
+        Some w
+      else acc)
+    g None
+
+(* Closed walk at [start] of even length within [max_len], whose first
+   and last nodes both avoid [forbidden], internally non-backtracking.
+   Used to kill a backtracking position. *)
+let even_detour g ~start ~forbidden ~max_len =
+  let exception Found of int list in
+  let rec go v prev steps acc first target_len =
+    if steps = target_len then begin
+      if v = start then
+        match (first, acc) with
+        | Some f, _ :: _ when f <> forbidden && prev <> forbidden ->
+            raise (Found (List.rev acc))
+        | _ -> ()
+    end
+    else
+      List.iter
+        (fun w ->
+          if w <> prev then
+            let first = match first with None -> Some w | s -> s in
+            go w v (steps + 1)
+              (if steps + 1 = target_len then acc else w :: acc)
+              first target_len)
+        (Graph.neighbors g v)
+  in
+  let rec try_len len =
+    if len > max_len then None
+    else
+      try
+        go start (-1) 0 [ start ] None len;
+        try_len (len + 2)
+      with Found w -> Some w
+  in
+  try_len 4
+
+let edge_expansion g ~r ~u ~v =
+  if not (Graph.mem_edge g u v) then invalid_arg "Nb_walks.edge_expansion: not an edge";
+  match Forgetful.escape_path g ~r ~v ~u with
+  | None -> None
+  | Some escape -> (
+      match far_node g ~r ~u ~v with
+      | None -> None
+      | Some far -> (
+          let escape_arr = Array.of_list escape in
+          let len = Array.length escape_arr in
+          let v_r = escape_arr.(len - 1) in
+          let v_r_pred = if len >= 2 then escape_arr.(len - 2) else u in
+          match
+            Metrics.shortest_path_avoiding g
+              ~avoid:(fun x -> x = v_r_pred)
+              v_r far
+          with
+          | None -> None
+          | Some to_far -> (
+              let before_far =
+                match List.rev to_far with
+                | _ :: prev :: _ -> prev
+                | _ -> v_r_pred
+              in
+              let return_path =
+                match
+                  Metrics.shortest_path_avoiding g
+                    ~avoid:(fun x -> x = before_far || x = v)
+                    far u
+                with
+                | Some p -> Some p
+                | None ->
+                    Metrics.shortest_path_avoiding g
+                      ~avoid:(fun x -> x = before_far)
+                      far u
+              in
+              match return_path with
+              | None -> None
+              | Some back -> (
+                  (* u, v, escape tail, to_far tail, back tail minus u *)
+                  let tail l = match l with _ :: t -> t | [] -> [] in
+                  let walk =
+                    (u :: escape)
+                    @ tail to_far
+                    @ (match List.rev (tail back) with
+                      | _ :: kept_rev -> List.rev kept_rev
+                      | [] -> [])
+                  in
+                  (* the closed walk starts at u; verify it *)
+                  if
+                    Walks.is_closed_walk g walk
+                    && Walks.is_non_backtracking g walk
+                    && (match List.rev walk with
+                       | last :: _ -> last <> v
+                       | [] -> false)
+                  then Some walk
+                  else None))))
+
+let expand_closed_walk g ~r walk =
+  match walk with
+  | [] | [ _ ] -> None
+  | _ ->
+      let arr = Array.of_list walk in
+      let k = Array.length arr in
+      let blocks =
+        List.init k (fun i ->
+            let u = arr.(i) and v = arr.((i + 1) mod k) in
+            Option.map (fun w -> w @ [ u ]) (edge_expansion g ~r ~u ~v))
+      in
+      if List.exists Option.is_none blocks then None
+      else begin
+        let expanded = List.concat_map Option.get blocks in
+        if Walks.is_closed_walk g expanded && Walks.is_non_backtracking g expanded
+        then Some expanded
+        else None
+      end
+
+let odd_nb_closed_walk g ~max_len =
+  let n = Graph.order g in
+  let rec try_len len =
+    if len > max_len then None
+    else
+      let rec try_start s =
+        if s = n then None
+        else
+          match Walks.non_backtracking_closed_walk g ~start:s ~len with
+          | Some w -> Some w
+          | None -> try_start (s + 1)
+      in
+      match try_start 0 with Some w -> Some w | None -> try_len (len + 2)
+  in
+  try_len 3
+
+let backtracking_position g walk =
+  ignore g;
+  let arr = Array.of_list walk in
+  let k = Array.length arr in
+  let rec go i =
+    if i = k then None
+    else if arr.((i + k - 1) mod k) = arr.((i + 1) mod k) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let repair_backtracking g walk =
+  let max_len = 2 * Graph.order g in
+  let rec fix walk fuel =
+    if fuel = 0 then None
+    else if Walks.is_non_backtracking g walk then Some walk
+    else
+      match backtracking_position g walk with
+      | None -> None (* too short to be non-backtracking *)
+      | Some i -> (
+          let arr = Array.of_list walk in
+          let k = Array.length arr in
+          let v = arr.(i) and offender = arr.((i + k - 1) mod k) in
+          match even_detour g ~start:v ~forbidden:offender ~max_len with
+          | None -> None
+          | Some detour -> fix (Walks.splice walk i detour) (fuel - 1))
+  in
+  fix walk (List.length walk + 2)

@@ -1,0 +1,43 @@
+open Lcp_graph
+open Lcp_local
+
+(* Nodes whose entire radius-r ball lies within the first [v + 1] nodes
+   become checkable as soon as node [v] is labeled. *)
+let coverage_schedule g ~r =
+  let n = Graph.order g in
+  let newly_covered = Array.make n [] in
+  for u = 0 to n - 1 do
+    let ball = Metrics.ball g u r in
+    let last = List.fold_left max 0 ball in
+    newly_covered.(last) <- u :: newly_covered.(last)
+  done;
+  newly_covered
+
+let iter_labelings_pruned dec ~alphabet (inst : Instance.t) ~reject_covered f =
+  let g = inst.Instance.graph in
+  let r = dec.Decoder.radius in
+  let schedule = coverage_schedule g ~r in
+  let prune v partial =
+    let candidate = Instance.with_labels inst (Array.copy partial) in
+    List.exists
+      (fun u ->
+        reject_covered u
+        && not (dec.Decoder.accepts (View.extract candidate ~r u)))
+      schedule.(v)
+  in
+  Labeling.iter_backtracking ~alphabet g ~prune (fun lab -> f (Array.copy lab))
+
+let iter_accepted dec ~alphabet inst f =
+  iter_labelings_pruned dec ~alphabet inst ~reject_covered:(fun _ -> true) f
+
+let find_accepted dec ~alphabet inst =
+  let exception Found of Labeling.t in
+  try
+    iter_accepted dec ~alphabet inst (fun lab -> raise (Found lab));
+    None
+  with Found lab -> Some lab
+
+let count_accepted dec ~alphabet inst =
+  let k = ref 0 in
+  iter_accepted dec ~alphabet inst (fun _ -> incr k);
+  !k

@@ -1,0 +1,38 @@
+(** Generic certificate search: the computational stand-in for the
+    paper's all-powerful prover.
+
+    The honest provers of the individual decoders construct certificates
+    exactly as the completeness proofs do; this module instead {e
+    searches} the certificate space, which is what we need to check
+    statements of the form "no certificate assignment is accepted"
+    (soundness) or "every accepted assignment has property P" (strong
+    soundness). *)
+
+open Lcp_local
+
+val find_accepted :
+  Decoder.t -> alphabet:string list -> Instance.t -> Labeling.t option
+(** Some labeling over the alphabet that every node accepts, if one
+    exists. Backtracking with ball-coverage pruning: a partial labeling
+    is cut as soon as some node whose entire radius-r ball is already
+    labeled rejects. *)
+
+val iter_accepted :
+  Decoder.t -> alphabet:string list -> Instance.t -> (Labeling.t -> unit) -> unit
+(** All unanimously accepted labelings (the callback receives a fresh
+    copy each time). *)
+
+val count_accepted : Decoder.t -> alphabet:string list -> Instance.t -> int
+
+val iter_labelings_pruned :
+  Decoder.t ->
+  alphabet:string list ->
+  Instance.t ->
+  reject_covered:(int -> bool) ->
+  (Labeling.t -> unit) ->
+  unit
+(** Lower-level driver: iterate complete labelings, cutting branches
+    according to covered-node verdicts. [reject_covered v] decides
+    whether a covered node [v] rejecting should cut the branch (pass
+    [fun _ -> true] for unanimous acceptance search, [fun _ -> false]
+    for full enumeration). *)

@@ -1,0 +1,56 @@
+(** Finite Ramsey machinery and the order-invariance reduction of
+    Lemma 6.2 (paper Sec. 6).
+
+    The reduction colors identifier tuples by the decoder's behavior
+    ("type") on a fixed finite set of view shapes, finds a monochromatic
+    identifier set by exhaustive search (the finite stand-in for
+    Lemma 6.1), and produces an order-invariant decoder that first
+    remaps the identifiers in its view — order-preservingly — into the
+    monochromatic set and then runs the original decoder. *)
+
+open Lcp_local
+
+val combinations : int list -> int -> int list list
+(** All sorted [k]-subsets. *)
+
+val monochromatic_subset :
+  universe:int list ->
+  tuple_size:int ->
+  size:int ->
+  color:(int list -> int) ->
+  int list option
+(** A subset [Y] of the universe with [|Y| = size] such that all sorted
+    [tuple_size]-subsets of [Y] receive the same color; brute force. *)
+
+val arrows : n:int -> s:int -> t:int -> bool
+(** The graph-Ramsey arrow [n -> (s, t)]: every red/blue coloring of
+    [K_n]'s edges contains a red [K_s] or blue [K_t]. Exhaustive over
+    all [2^(n choose 2)] colorings; [n <= 6]. *)
+
+val ramsey_number : s:int -> t:int -> int
+(** Least [n] with [n -> (s, t)]; small parameters only (e.g.
+    [R(3,3) = 6]). *)
+
+(** {1 The Lemma 6.2 reduction} *)
+
+val decoder_type :
+  Decoder.t -> shapes:View.t list -> int list -> bool list
+(** The type of a sorted identifier tuple: for each shape, reassign its
+    identifiers order-preservingly from the tuple (rank [j] receives the
+    tuple's [j]-th element) and record the decoder's verdict. The tuple
+    must be at least as large as every shape. *)
+
+val type_color :
+  Decoder.t -> shapes:View.t list -> (int list -> int) * (unit -> int)
+(** Memoized coloring of tuples by type; the second component reports
+    how many distinct types have been seen. *)
+
+val monochromatic_ids :
+  Decoder.t -> shapes:View.t list -> universe:int list -> size:int -> int list option
+(** A monochromatic identifier set for the decoder-type coloring, with
+    tuple size equal to the largest shape. *)
+
+val order_invariant_decoder : Decoder.t -> mono:int list -> Decoder.t
+(** The decoder [D'] of Lemma 6.2: remap the view's identifiers
+    order-preservingly into [mono] and run [D]. Order-invariant by
+    construction on views of size at most [List.length mono]. *)

@@ -1,0 +1,44 @@
+type row = { label : string; value : string; expected : string; ok : bool }
+type t = { id : string; title : string; rows : row list }
+
+let row ?(expected = "-") ?(ok = true) label value = { label; value; expected; ok }
+
+let check label ok ~expected ~actual = { label; value = actual; expected; ok }
+
+let passed t = List.for_all (fun r -> r.ok) t.rows
+
+let pp ppf t =
+  Format.fprintf ppf "=== %s: %s [%s]@." t.id t.title
+    (if passed t then "PASS" else "FAIL");
+  let width =
+    List.fold_left (fun acc r -> max acc (String.length r.label)) 10 t.rows
+  in
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-*s  %-30s expected: %-20s %s@." width r.label r.value
+        r.expected
+        (if r.ok then "ok" else "MISMATCH"))
+    t.rows
+
+let pp_all ppf reports =
+  List.iter (fun r -> pp ppf r; Format.fprintf ppf "@.") reports;
+  let pass = List.filter passed reports |> List.length in
+  Format.fprintf ppf "Total: %d/%d experiments pass@." pass (List.length reports)
+
+let to_markdown t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "### %s — %s (%s)\n\n" t.id t.title
+       (if passed t then "PASS" else "FAIL"));
+  Buffer.add_string buf "| check | measured | paper / expected | status |\n";
+  Buffer.add_string buf "|---|---|---|---|\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %s | %s | %s |\n" r.label r.value r.expected
+           (if r.ok then "ok" else "**mismatch**")))
+    t.rows;
+  Buffer.contents buf
+
+let summary_line t =
+  Printf.sprintf "%-4s %-58s %s" t.id t.title (if passed t then "PASS" else "FAIL")

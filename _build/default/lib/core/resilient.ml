@@ -1,0 +1,139 @@
+open Lcp_graph
+open Lcp_local
+
+let erase (inst : Instance.t) ~nodes =
+  let labels = Array.copy inst.Instance.labels in
+  List.iter (fun v -> labels.(v) <- "") nodes;
+  Instance.with_labels inst labels
+
+let reconstructible g ~erased =
+  List.for_all
+    (fun v ->
+      List.exists (fun w -> not (List.mem w erased)) (Graph.neighbors g v))
+    erased
+
+(* wire format: own-cert '|' p<port>=<backup> '|' ... *)
+let encode ~own ~backups =
+  String.concat "|"
+    (own :: List.map (fun (p, c) -> Printf.sprintf "p%d=%s" p c) backups)
+
+type parsed = { own : string; backups : (int * string) list }
+
+let parse s =
+  match String.split_on_char '|' s with
+  | [] -> None
+  | own :: entries ->
+      let parse_entry e =
+        match String.index_opt e '=' with
+        | Some i when String.length e > 1 && e.[0] = 'p' -> (
+            match int_of_string_opt (String.sub e 1 (i - 1)) with
+            | Some p when p >= 1 -> Some (p, String.sub e (i + 1) (String.length e - i - 1))
+            | _ -> None)
+        | _ -> None
+      in
+      let parsed = List.map parse_entry entries in
+      if List.exists Option.is_none parsed then None
+      else Some { own; backups = List.map Option.get parsed }
+
+let wrap (base : Decoder.suite) =
+  let r = base.Decoder.dec.Decoder.radius in
+  let accepts view =
+    let m = View.size view in
+    (* parse every visible certificate; "" means erased *)
+    let parsed = Array.make m None in
+    let malformed = ref false in
+    for u = 0 to m - 1 do
+      match View.label view u with
+      | "" -> ()
+      | s -> (
+          match parse s with
+          | Some p -> parsed.(u) <- Some p
+          | None -> malformed := true)
+    done;
+    if !malformed then false
+    else begin
+      let backup_about y x =
+        (* y's stored copy of x's certificate, keyed by y's port *)
+        match parsed.(y) with
+        | None -> None
+        | Some { backups; _ } -> (
+            match List.assoc_opt (View.port_of view y x) backups with
+            | Some c -> Some c
+            | None -> None)
+      in
+      (* consistency: visible backups about non-erased nodes must match *)
+      let consistent = ref true in
+      Graph.iter_edges
+        (fun a b ->
+          let chk x y =
+            match (parsed.(x), backup_about y x) with
+            | Some { own; _ }, Some c when c <> own -> consistent := false
+            | _ -> ()
+          in
+          chk a b;
+          chk b a)
+        view.View.graph;
+      if not !consistent then false
+      else begin
+        (* reconstruct the certificates of the inner radius-r ball *)
+        let reconstructed = Array.make m None in
+        let ok = ref true in
+        for x = 0 to m - 1 do
+          if View.distance view x <= r then
+            match parsed.(x) with
+            | Some { own; _ } -> reconstructed.(x) <- Some own
+            | None -> (
+                let copies =
+                  List.filter_map
+                    (fun y -> backup_about y x)
+                    (Graph.neighbors view.View.graph x)
+                in
+                match List.sort_uniq Stdlib.compare copies with
+                | [ c ] -> reconstructed.(x) <- Some c
+                | _ -> ok := false)
+        done;
+        !ok
+        &&
+        let repaired =
+          View.mapi_labels view (fun u _ ->
+              Option.value ~default:"" reconstructed.(u))
+        in
+        base.Decoder.dec.Decoder.accepts (View.restrict repaired ~r)
+      end
+    end
+  in
+  let dec =
+    Decoder.make
+      ~name:(base.Decoder.dec.Decoder.name ^ "+resilient")
+      ~radius:(r + 1)
+      ~anonymous:base.Decoder.dec.Decoder.anonymous accepts
+  in
+  let prover (inst : Instance.t) =
+    match base.Decoder.prover inst with
+    | None -> None
+    | Some lab ->
+        let g = inst.Instance.graph in
+        Some
+          (Array.init (Graph.order g) (fun v ->
+               let backups =
+                 List.map
+                   (fun w -> (Port.port_of inst.Instance.ports v w, lab.(w)))
+                   (Graph.neighbors g v)
+               in
+               encode ~own:lab.(v) ~backups))
+  in
+  let adversary_alphabet inst =
+    let honest = match prover inst with Some lab -> Array.to_list lab | None -> [] in
+    List.sort_uniq Stdlib.compare (("" :: Decoder.junk :: honest))
+  in
+  {
+    Decoder.dec;
+    promise = base.Decoder.promise;
+    prover;
+    adversary_alphabet;
+    cert_bits =
+      (fun inst ->
+        let d = Graph.max_degree inst.Instance.graph in
+        (d + 1) * base.Decoder.cert_bits inst
+        + d * Certificate.bits_for_int ~max:(max 1 d));
+  }

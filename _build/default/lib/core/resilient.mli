@@ -1,0 +1,36 @@
+(** Resilient labeling schemes (the Fischer–Oshman–Shamir model the
+    paper discusses in Sec. 1.2): certificates survive erasures.
+
+    {!wrap} transforms any LCP suite into one whose certificates embed a
+    backup of every neighbor's certificate, keyed by the neighbor-side
+    port of the shared edge. The wrapped decoder runs one extra round:
+    it reconstructs erased certificates (empty strings) inside its
+    radius-r ball from the backups of their neighbors — rejecting on
+    missing or contradictory backups — and then evaluates the original
+    decoder on the repaired view.
+
+    Unlike the paper's strong soundness (a condition on no-instances),
+    resilience is a condition on completeness: every yes-instance must
+    stay unanimously accepted after up to [f] certificates are erased.
+    With one backup per incident edge the scheme tolerates any erasure
+    pattern in which every erased node keeps at least one non-erased
+    neighbor — in particular any f with f-independence, and any single
+    erasure on graphs of minimum degree 1. *)
+
+open Lcp_graph
+open Lcp_local
+
+val erase : Instance.t -> nodes:int list -> Instance.t
+(** Failure injection: blank the certificates of the given nodes. *)
+
+val wrap : Decoder.suite -> Decoder.suite
+(** The resilient suite: radius [r + 1], certificates of size
+    [O(Delta)] times the original. The promise class, prover and
+    adversary alphabet are lifted accordingly (the wrapped adversary
+    alphabet combines original certificates with junk backups and the
+    erased certificate, so exhaustive checks remain possible on tiny
+    instances). *)
+
+val reconstructible : Graph.t -> erased:int list -> bool
+(** Does every erased node keep a non-erased neighbor? (The condition
+    under which reconstruction is information-theoretically possible.) *)

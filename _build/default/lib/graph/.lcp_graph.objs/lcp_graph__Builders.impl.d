@@ -1,0 +1,1 @@
+lib/graph/builders.ml: Graph List Random

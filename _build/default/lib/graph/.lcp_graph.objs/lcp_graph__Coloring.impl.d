@@ -1,0 +1,1 @@
+lib/graph/coloring.ml: Array Graph List Queue

@@ -1,0 +1,1 @@
+lib/graph/coloring.mli: Graph

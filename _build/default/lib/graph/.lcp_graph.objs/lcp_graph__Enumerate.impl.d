@@ -1,0 +1,1 @@
+lib/graph/enumerate.ml: Array Coloring Graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/graph/enumerate.mli: Graph

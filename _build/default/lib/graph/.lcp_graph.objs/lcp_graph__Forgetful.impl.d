@@ -1,0 +1,1 @@
+lib/graph/forgetful.ml: Array Graph List Metrics

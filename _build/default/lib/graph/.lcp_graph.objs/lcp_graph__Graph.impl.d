@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Buffer Format Hashtbl List Option Printf Queue Stdlib

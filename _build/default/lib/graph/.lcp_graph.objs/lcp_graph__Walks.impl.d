@@ -1,0 +1,1 @@
+lib/graph/walks.ml: Array Graph List

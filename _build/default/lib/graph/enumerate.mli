@@ -1,0 +1,29 @@
+(** Exhaustive enumeration of small graphs.
+
+    The soundness theorems quantify over {e every} graph; on small
+    orders we can check them literally. All functions here enumerate
+    {e labeled} graphs on nodes [0 .. n-1]; [up_to_iso] filters one
+    representative per isomorphism class (brute force, so keep
+    [n <= 7]). *)
+
+val all_graphs : int -> Graph.t list
+(** All 2^(n choose 2) labeled graphs on [n] nodes. Keep [n <= 5] or
+    filter aggressively. *)
+
+val iter_graphs : int -> (Graph.t -> unit) -> unit
+(** Iterate without materializing the list. *)
+
+val connected_graphs : int -> Graph.t list
+(** Labeled connected graphs on exactly [n] nodes. *)
+
+val up_to_iso : Graph.t list -> Graph.t list
+(** One representative per isomorphism class (order preserved). *)
+
+val connected_up_to_iso : int -> Graph.t list
+(** Connected graphs on [n] nodes up to isomorphism. *)
+
+val non_bipartite : Graph.t list -> Graph.t list
+val bipartite : Graph.t list -> Graph.t list
+
+val count_graphs : int -> int
+(** [2^(n choose 2)], for sanity checks. *)

@@ -1,0 +1,67 @@
+type witness = { v : int; u : int; escape : int list }
+
+type verdict =
+  | Forgetful of witness list
+  | Not_forgetful of { v : int; u : int }
+
+(* Strictly increasing distance to every w in N^r(u) along the path:
+   since one hop changes distance by at most 1, each step must satisfy
+   dist(v_{i+1}, w) = dist(v_i, w) + 1 for all w. We precompute the BFS
+   distances from every w once and DFS over extensions. *)
+let escape_path g ~r ~v ~u =
+  if r < 0 then invalid_arg "Forgetful.escape_path: negative radius";
+  if not (Graph.mem_edge g v u) then
+    invalid_arg "Forgetful.escape_path: u must be a neighbor of v";
+  let targets = Metrics.ball g u r in
+  let dists = List.map (fun w -> Metrics.bfs_dist g w) targets in
+  let step_ok cur next =
+    List.for_all
+      (fun dw ->
+        dw.(cur) <> max_int && dw.(next) <> max_int && dw.(next) = dw.(cur) + 1)
+      dists
+  in
+  let exception Found of int list in
+  let rec go cur depth acc =
+    if depth = r then raise (Found (List.rev acc))
+    else
+      List.iter
+        (fun next -> if step_ok cur next then go next (depth + 1) (next :: acc))
+        (Graph.neighbors g cur)
+  in
+  try
+    go v 0 [ v ];
+    None
+  with Found p -> Some p
+
+let check g ~r =
+  let exception Fail of int * int in
+  try
+    let witnesses =
+      Graph.fold_nodes
+        (fun v acc ->
+          List.fold_left
+            (fun acc u ->
+              match escape_path g ~r ~v ~u with
+              | Some p -> { v; u; escape = p } :: acc
+              | None -> raise (Fail (v, u)))
+            acc (Graph.neighbors g v))
+        g []
+    in
+    Forgetful (List.rev witnesses)
+  with Fail (v, u) -> Not_forgetful { v; u }
+
+let is_r_forgetful g ~r =
+  match check g ~r with Forgetful _ -> true | Not_forgetful _ -> false
+
+let max_forgetful_radius g =
+  let diam = Metrics.diameter g in
+  let bound = if diam = max_int then Graph.order g else diam in
+  let rec go best r =
+    if r > bound then best
+    else if is_r_forgetful g ~r then go r (r + 1)
+    else best
+  in
+  go 0 1
+
+let lemma_2_1_holds g ~r =
+  (not (is_r_forgetful g ~r)) || Metrics.diameter g >= (2 * r) + 1

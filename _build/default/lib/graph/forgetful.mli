@@ -1,0 +1,38 @@
+(** The paper's [r]-forgetful property (Sec. 1.3, Fig. 1).
+
+    A graph [G] is r-forgetful if for every node [v] and every neighbor
+    [u] of [v] there is a path [P = (v_0 = v, v_1, ..., v_r)] of length
+    [r] such that for every [w] in [N^r(u)] the distance [dist(v_i, w)]
+    is monotonically (strictly) increasing in [i].
+
+    Since adjacent nodes have distances differing by at most one, strict
+    increase along the path means each step moves exactly one further
+    from {e every} node of [N^r(u)] simultaneously. *)
+
+type witness = {
+  v : int;  (** the node being escaped from *)
+  u : int;  (** the neighbor arrived from *)
+  escape : int list;  (** the path [v_0 = v, ..., v_r] *)
+}
+
+type verdict =
+  | Forgetful of witness list
+      (** one witness per (v, u) pair, in node order *)
+  | Not_forgetful of { v : int; u : int }
+      (** a pair with no escape path *)
+
+val escape_path : Graph.t -> r:int -> v:int -> u:int -> int list option
+(** An escape path for the single pair [(v, u)], if one exists. *)
+
+val check : Graph.t -> r:int -> verdict
+
+val is_r_forgetful : Graph.t -> r:int -> bool
+
+val max_forgetful_radius : Graph.t -> int
+(** The largest [r >= 0] such that the graph is r-forgetful ([0] when
+    not even 1-forgetful; every graph is vacuously 0-forgetful).
+    Bounded by [diam g / 2] thanks to Lemma 2.1, so terminates. *)
+
+val lemma_2_1_holds : Graph.t -> r:int -> bool
+(** Lemma 2.1: if [g] is r-forgetful then [diam g >= 2r + 1]. This
+    checks the implication (true whenever [g] is not r-forgetful). *)

@@ -1,0 +1,252 @@
+type t = {
+  n : int;
+  adj : int list array; (* sorted, no duplicates, no self-loops *)
+}
+
+let order g = g.n
+
+let check_node g v =
+  if v < 0 || v >= g.n then
+    invalid_arg (Printf.sprintf "Graph: node %d out of range [0, %d)" v g.n)
+
+let empty n =
+  if n < 0 then invalid_arg "Graph.empty: negative order";
+  { n; adj = Array.make (max n 1) [] |> fun a -> Array.sub a 0 n }
+
+let neighbors g v =
+  check_node g v;
+  g.adj.(v)
+
+let degree g v = List.length (neighbors g v)
+
+let mem_edge g u v =
+  check_node g u;
+  check_node g v;
+  List.mem v g.adj.(u)
+
+let sort_uniq_int = List.sort_uniq Stdlib.compare
+
+let of_edges n edge_list =
+  if n < 0 then invalid_arg "Graph.of_edges: negative order";
+  let adj = Array.make (max n 1) [] in
+  let add u v =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg
+        (Printf.sprintf "Graph.of_edges: edge (%d,%d) out of range [0,%d)" u v n);
+    if u = v then
+      invalid_arg (Printf.sprintf "Graph.of_edges: self-loop at %d" u);
+    adj.(u) <- v :: adj.(u);
+    adj.(v) <- u :: adj.(v)
+  in
+  List.iter (fun (u, v) -> add u v) edge_list;
+  for v = 0 to n - 1 do
+    adj.(v) <- sort_uniq_int adj.(v)
+  done;
+  { n; adj = Array.sub adj 0 n }
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    List.iter (fun v -> if u < v then acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  List.sort Stdlib.compare !acc
+
+let size g = List.length (edges g)
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if mem_edge g u v then g
+  else begin
+    let adj = Array.copy g.adj in
+    adj.(u) <- sort_uniq_int (v :: adj.(u));
+    adj.(v) <- sort_uniq_int (u :: adj.(v));
+    { g with adj }
+  end
+
+let remove_edge g u v =
+  check_node g u;
+  check_node g v;
+  if not (mem_edge g u v) then g
+  else begin
+    let adj = Array.copy g.adj in
+    adj.(u) <- List.filter (fun w -> w <> v) adj.(u);
+    adj.(v) <- List.filter (fun w -> w <> u) adj.(v);
+    { g with adj }
+  end
+
+let disjoint_union g h =
+  let shift = g.n in
+  let e_g = edges g in
+  let e_h = List.map (fun (u, v) -> (u + shift, v + shift)) (edges h) in
+  of_edges (g.n + h.n) (e_g @ e_h)
+
+let induced g node_list =
+  List.iter (check_node g) node_list;
+  let keep = List.sort_uniq Stdlib.compare node_list in
+  let old_of_new = Array.of_list keep in
+  let m = Array.length old_of_new in
+  let new_of_old = Hashtbl.create m in
+  Array.iteri (fun i v -> Hashtbl.replace new_of_old v i) old_of_new;
+  let es =
+    List.filter_map
+      (fun (u, v) ->
+        match (Hashtbl.find_opt new_of_old u, Hashtbl.find_opt new_of_old v) with
+        | Some a, Some b -> Some (a, b)
+        | _ -> None)
+      (edges g)
+  in
+  (of_edges m es, old_of_new)
+
+let relabel g perm =
+  if Array.length perm <> g.n then invalid_arg "Graph.relabel: bad permutation";
+  let seen = Array.make g.n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= g.n || seen.(v) then
+        invalid_arg "Graph.relabel: not a permutation";
+      seen.(v) <- true)
+    perm;
+  of_edges g.n (List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges g))
+
+let nodes g = List.init g.n (fun i -> i)
+
+let fold_nodes f g init =
+  let acc = ref init in
+  for v = 0 to g.n - 1 do
+    acc := f v !acc
+  done;
+  !acc
+
+let fold_edges f g init =
+  List.fold_left (fun acc (u, v) -> f u v acc) init (edges g)
+
+let iter_edges f g = List.iter (fun (u, v) -> f u v) (edges g)
+
+let min_degree g =
+  if g.n = 0 then 0 else fold_nodes (fun v m -> min m (degree g v)) g max_int
+
+let max_degree g = fold_nodes (fun v m -> max m (degree g v)) g 0
+
+let degree_counts g =
+  let tbl = Hashtbl.create 8 in
+  for v = 0 to g.n - 1 do
+    let d = degree g v in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort Stdlib.compare
+
+(* Connected component of [start] via BFS. *)
+let component_of g start =
+  check_node g start;
+  let seen = Array.make g.n false in
+  let queue = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start queue;
+  let acc = ref [] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    acc := v :: !acc;
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w queue
+        end)
+      g.adj.(v)
+  done;
+  List.sort Stdlib.compare !acc
+
+let components g =
+  let seen = Array.make g.n false in
+  let comps = ref [] in
+  for v = 0 to g.n - 1 do
+    if not seen.(v) then begin
+      let comp = component_of g v in
+      List.iter (fun w -> seen.(w) <- true) comp;
+      comps := comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected g = g.n <= 1 || List.length (components g) = 1
+
+let is_cycle g =
+  g.n >= 3 && is_connected g && fold_nodes (fun v ok -> ok && degree g v = 2) g true
+
+let is_path_graph g =
+  g.n >= 1 && is_connected g && size g = g.n - 1
+  && fold_nodes (fun v ok -> ok && degree g v <= 2) g true
+
+let is_tree g = is_connected g && size g = g.n - 1
+
+let equal g h = g.n = h.n && edges g = edges h
+
+let compare g h =
+  match Stdlib.compare g.n h.n with
+  | 0 -> Stdlib.compare (edges g) (edges h)
+  | c -> c
+
+(* Brute-force isomorphism: backtracking on degree-compatible mappings.
+   Fine for the small graphs used in enumeration and tests. *)
+let isomorphic g h =
+  if g.n <> h.n || size g <> size h then false
+  else if List.sort Stdlib.compare (List.map snd (degree_counts g))
+          <> List.sort Stdlib.compare (List.map snd (degree_counts h))
+          || degree_counts g <> degree_counts h
+  then false
+  else begin
+    let n = g.n in
+    let image = Array.make n (-1) in
+    let used = Array.make n false in
+    let consistent u x =
+      (* mapping u -> x must preserve adjacency with already-mapped nodes *)
+      degree g u = degree h x
+      && List.for_all
+           (fun w ->
+             image.(w) = -1 || mem_edge h x image.(w) = mem_edge g u w)
+           (nodes g)
+    in
+    let rec go u =
+      if u = n then true
+      else
+        let rec try_images x =
+          if x = n then false
+          else if (not used.(x)) && consistent u x then begin
+            image.(u) <- x;
+            used.(x) <- true;
+            if go (u + 1) then true
+            else begin
+              image.(u) <- -1;
+              used.(x) <- false;
+              try_images (x + 1)
+            end
+          end
+          else try_images (x + 1)
+        in
+        try_images 0
+    in
+    go 0
+  end
+
+let pp ppf g =
+  Format.fprintf ppf "@[<h>graph(n=%d; %a)@]" g.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    (edges g)
+
+let to_string g = Format.asprintf "%a" pp g
+
+let to_dot ?(name = "G") ?label g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  for v = 0 to g.n - 1 do
+    let lbl = match label with None -> string_of_int v | Some f -> f v in
+    Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"];\n" v lbl)
+  done;
+  iter_edges (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v)) g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

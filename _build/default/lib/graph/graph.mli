@@ -1,0 +1,115 @@
+(** Simple finite undirected graphs.
+
+    Nodes are the integers [0 .. n-1]. Graphs are immutable once built;
+    all "mutating" operations return fresh graphs. Parallel edges are
+    disallowed; self-loops are disallowed (the paper allows loops in
+    principle but never uses them, and a loop makes a graph trivially
+    non-2-colorable, so we reject them at construction). *)
+
+type t
+(** An undirected graph. *)
+
+(** {1 Construction} *)
+
+val empty : int -> t
+(** [empty n] is the edgeless graph on [n] nodes.
+    @raise Invalid_argument if [n < 0]. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds a graph on [n] nodes with the given edge
+    list. Duplicate edges (in either orientation) are collapsed.
+    @raise Invalid_argument on out-of-range endpoints or self-loops. *)
+
+val add_edge : t -> int -> int -> t
+(** [add_edge g u v] is [g] with the edge [{u,v}] added (no-op if the
+    edge is already present).
+    @raise Invalid_argument on out-of-range endpoints or [u = v]. *)
+
+val remove_edge : t -> int -> int -> t
+(** [remove_edge g u v] is [g] without the edge [{u,v}] (no-op if
+    absent). *)
+
+val disjoint_union : t -> t -> t
+(** [disjoint_union g h] places [h] next to [g]; nodes of [h] are
+    shifted by [order g]. *)
+
+val induced : t -> int list -> t * int array
+(** [induced g nodes] is the subgraph of [g] induced by [nodes]
+    (duplicates ignored, order preserved), together with the array
+    mapping new indices to the original node ids. *)
+
+val relabel : t -> int array -> t
+(** [relabel g perm] renames node [v] to [perm.(v)]; [perm] must be a
+    permutation of [0 .. order g - 1]. *)
+
+(** {1 Observation} *)
+
+val order : t -> int
+(** Number of nodes. *)
+
+val size : t -> int
+(** Number of edges. *)
+
+val neighbors : t -> int -> int list
+(** Sorted list of neighbors. *)
+
+val degree : t -> int -> int
+
+val mem_edge : t -> int -> int -> bool
+
+val edges : t -> (int * int) list
+(** All edges as pairs [(u, v)] with [u < v], lexicographically
+    sorted. *)
+
+val nodes : t -> int list
+(** [0 .. n-1]. *)
+
+val fold_nodes : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_edges : (int -> int -> unit) -> t -> unit
+
+val min_degree : t -> int
+(** Minimum degree; [0] for the empty (0-node) graph. *)
+
+val max_degree : t -> int
+(** Maximum degree; [0] for the empty graph. *)
+
+val degree_counts : t -> (int * int) list
+(** [(d, count)] pairs, sorted by degree. *)
+
+(** {1 Structure} *)
+
+val is_connected : t -> bool
+(** True for the 0- and 1-node graphs. *)
+
+val components : t -> int list list
+(** Connected components as sorted node lists, sorted by minimum
+    element. *)
+
+val component_of : t -> int -> int list
+(** Sorted node list of the component containing the given node. *)
+
+val is_cycle : t -> bool
+(** Is [g] a single cycle (connected, 2-regular, n >= 3)? *)
+
+val is_path_graph : t -> bool
+(** Is [g] a single simple path on >= 1 nodes? *)
+
+val is_tree : t -> bool
+(** Connected and acyclic. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same node count and edge set). *)
+
+val compare : t -> t -> int
+
+val isomorphic : t -> t -> bool
+(** Brute-force isomorphism test; intended for small graphs only. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_dot : ?name:string -> ?label:(int -> string) -> t -> string
+(** GraphViz rendering; [label] overrides the per-node label. *)

@@ -1,0 +1,1 @@
+lib/local/async_runner.ml: Array Graph Ident Instance Lcp_graph List Port Random Stdlib Sync_runner View

@@ -1,0 +1,1 @@
+lib/local/async_runner.mli: Instance Random Sync_runner

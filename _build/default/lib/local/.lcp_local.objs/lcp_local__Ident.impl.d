@@ -1,0 +1,1 @@
+lib/local/ident.ml: Array Format Graph Hashtbl Lcp_graph List Option Printf Random Stdlib

@@ -1,0 +1,1 @@
+lib/local/ident.mli: Format Graph Lcp_graph Random

@@ -1,0 +1,1 @@
+lib/local/instance.ml: Array Format Graph Ident Labeling Lcp_graph Option Port

@@ -1,0 +1,1 @@
+lib/local/instance.mli: Format Graph Ident Labeling Lcp_graph Port Random

@@ -1,0 +1,1 @@
+lib/local/labeling.ml: Array Graph Lcp_graph List Random String

@@ -1,0 +1,1 @@
+lib/local/labeling.mli: Graph Lcp_graph Random

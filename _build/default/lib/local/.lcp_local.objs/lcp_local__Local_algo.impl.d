@@ -1,0 +1,1 @@
+lib/local/local_algo.ml: Array Ident Instance View

@@ -1,0 +1,1 @@
+lib/local/local_algo.mli: Instance Random View

@@ -1,0 +1,1 @@
+lib/local/port.ml: Array Format Graph Lcp_graph List Printf Random Stdlib

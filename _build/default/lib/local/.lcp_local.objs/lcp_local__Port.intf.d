@@ -1,0 +1,1 @@
+lib/local/port.mli: Format Graph Lcp_graph Random

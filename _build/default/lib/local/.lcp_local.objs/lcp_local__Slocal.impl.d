@@ -1,0 +1,1 @@
+lib/local/slocal.ml: Array Ident Instance Lcp_graph List Local_algo Option Stdlib View

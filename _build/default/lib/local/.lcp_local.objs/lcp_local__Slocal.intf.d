@@ -1,0 +1,1 @@
+lib/local/slocal.mli: Instance Local_algo View

@@ -1,0 +1,1 @@
+lib/local/sync_runner.ml: Array Graph Ident Instance Lcp_graph List Port Stdlib View

@@ -1,0 +1,1 @@
+lib/local/sync_runner.mli: Graph Instance Lcp_graph View

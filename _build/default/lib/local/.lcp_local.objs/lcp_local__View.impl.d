@@ -1,0 +1,1 @@
+lib/local/view.ml: Array Buffer Format Graph Hashtbl Ident Instance Lcp_graph List Port Printf Queue Stdlib String

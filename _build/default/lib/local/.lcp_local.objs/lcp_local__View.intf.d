@@ -1,0 +1,1 @@
+lib/local/view.mli: Format Graph Instance Lcp_graph

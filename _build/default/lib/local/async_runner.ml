@@ -1,0 +1,107 @@
+open Lcp_graph
+
+type stats = { deliveries : int; max_queue : int }
+
+(* A message is the sender's knowledge snapshot plus the link header
+   that lets the receiver record the edge fact. *)
+type message = { payload : Sync_runner.knowledge; from_ : int; to_ : int }
+
+let knowledge_union (a : Sync_runner.knowledge) (b : Sync_runner.knowledge) =
+  {
+    Sync_runner.node_facts =
+      List.sort_uniq Stdlib.compare (a.Sync_runner.node_facts @ b.Sync_runner.node_facts);
+    edge_facts =
+      List.sort_uniq Stdlib.compare (a.Sync_runner.edge_facts @ b.Sync_runner.edge_facts);
+  }
+
+let subsumes (a : Sync_runner.knowledge) (b : Sync_runner.knowledge) =
+  List.for_all (fun f -> List.mem f a.Sync_runner.node_facts) b.Sync_runner.node_facts
+  && List.for_all (fun f -> List.mem f a.Sync_runner.edge_facts) b.Sync_runner.edge_facts
+
+let run_to_quiescence ?(scheduler = `Fifo) (inst : Instance.t) =
+  let g = inst.Instance.graph in
+  let n = Graph.order g in
+  let gid v = Ident.id inst.Instance.ids v in
+  let state =
+    Array.init n (fun v ->
+        {
+          Sync_runner.node_facts =
+            [ { Sync_runner.nid = gid v; nlabel = inst.Instance.labels.(v) } ];
+          edge_facts = [];
+        })
+  in
+  (* in-flight messages; the scheduler picks which to deliver next *)
+  let queue : message list ref = ref [] in
+  let max_queue = ref 0 in
+  let deliveries = ref 0 in
+  let send v =
+    List.iter
+      (fun w -> queue := !queue @ [ { payload = state.(v); from_ = v; to_ = w } ])
+      (Graph.neighbors g v)
+  in
+  (* everyone announces itself once *)
+  for v = 0 to n - 1 do
+    send v
+  done;
+  let pick () =
+    match scheduler with
+    | `Fifo -> (
+        match !queue with
+        | m :: rest ->
+            queue := rest;
+            m
+        | [] -> assert false)
+    | `Lifo -> (
+        match List.rev !queue with
+        | m :: rest_rev ->
+            queue := List.rev rest_rev;
+            m
+        | [] -> assert false)
+    | `Random rng ->
+        let i = Random.State.int rng (List.length !queue) in
+        let m = List.nth !queue i in
+        queue := List.filteri (fun j _ -> j <> i) !queue;
+        m
+  in
+  while !queue <> [] do
+    max_queue := max !max_queue (List.length !queue);
+    let { payload; from_; to_ } = pick () in
+    incr deliveries;
+    let edge_fact =
+      (* normalized like Sync_runner's facts: smaller id first *)
+      let ida = gid to_ and idb = gid from_ in
+      let pa = Port.port_of inst.Instance.ports to_ from_ in
+      let pb = Port.port_of inst.Instance.ports from_ to_ in
+      if ida <= idb then { Sync_runner.a = ida; pa; b = idb; pb }
+      else { Sync_runner.a = idb; pa = pb; b = ida; pb = pa }
+    in
+    let augmented =
+      knowledge_union payload
+        { Sync_runner.node_facts = []; edge_facts = [ edge_fact ] }
+    in
+    if not (subsumes state.(to_) augmented) then begin
+      state.(to_) <- knowledge_union state.(to_) augmented;
+      (* knowledge improved: propagate *)
+      send to_
+    end
+  done;
+  (state, { deliveries = !deliveries; max_queue = !max_queue })
+
+let eventually_matches_views inst ~r =
+  let schedulers =
+    [ `Fifo; `Lifo; `Random (Random.State.make [| 5; 7; 11 |]) ]
+  in
+  List.for_all
+    (fun scheduler ->
+      let final, _ = run_to_quiescence ~scheduler inst in
+      let n = Instance.order inst in
+      let rec go v =
+        if v = n then true
+        else
+          let view_knowledge =
+            Sync_runner.knowledge_of_view (View.extract inst ~r v)
+          in
+          subsumes final.(v) view_knowledge && go (v + 1)
+      in
+      go 0)
+    schedulers

@@ -1,0 +1,47 @@
+open Lcp_graph
+
+type t = string array
+
+let const g s = Array.make (Graph.order g) s
+let of_list l = Array.of_list l
+
+let max_bits t = Array.fold_left (fun acc s -> max acc (8 * String.length s)) 0 t
+
+let unassigned = "?"
+
+let iter_backtracking ~alphabet g ~prune f =
+  let n = Graph.order g in
+  let lab = Array.make n unassigned in
+  let rec go v =
+    if v = n then f lab
+    else
+      List.iter
+        (fun sym ->
+          lab.(v) <- sym;
+          if not (prune v lab) then go (v + 1);
+          lab.(v) <- unassigned)
+        alphabet
+  in
+  if alphabet = [] && n > 0 then ()
+  else go 0
+
+let iter_all ~alphabet g f =
+  iter_backtracking ~alphabet g ~prune:(fun _ _ -> false) f
+
+let exists_all ~alphabet g pred =
+  let exception Found in
+  try
+    iter_all ~alphabet g (fun lab -> if pred lab then raise Found);
+    false
+  with Found -> true
+
+let random rng ~alphabet g =
+  let arr = Array.of_list alphabet in
+  let m = Array.length arr in
+  if m = 0 then invalid_arg "Labeling.random: empty alphabet";
+  Array.init (Graph.order g) (fun _ -> arr.(Random.State.int rng m))
+
+let count ~alphabet g =
+  let m = List.length alphabet in
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  pow m (Graph.order g)

@@ -1,0 +1,38 @@
+(** Certificate assignments (labelings, paper Sec. 2.2).
+
+    A labeling maps each node to a certificate string. Decoders parse
+    certificates themselves; this module only handles assignment-level
+    plumbing: constant labelings, finite-alphabet enumeration with
+    pruning, and random sampling. *)
+
+open Lcp_graph
+
+type t = string array
+
+val const : Graph.t -> string -> t
+val of_list : string list -> t
+
+val max_bits : t -> int
+(** Size of the largest certificate, in bits (8 bits per byte). *)
+
+val iter_all : alphabet:string list -> Graph.t -> (t -> unit) -> unit
+(** All |alphabet|^n labelings. The array passed to the callback is
+    reused; copy if you keep it. *)
+
+val exists_all : alphabet:string list -> Graph.t -> (t -> bool) -> bool
+(** Short-circuiting search over all labelings. *)
+
+val iter_backtracking :
+  alphabet:string list ->
+  Graph.t ->
+  prune:(int -> t -> bool) ->
+  (t -> unit) ->
+  unit
+(** Depth-first assignment in node order; after assigning node [v] the
+    partial labeling (nodes > v hold ["?"]) is passed to [prune v];
+    returning [true] cuts the subtree. Complete labelings go to the
+    callback. *)
+
+val random : Random.State.t -> alphabet:string list -> Graph.t -> t
+
+val count : alphabet:string list -> Graph.t -> int

@@ -1,0 +1,80 @@
+open Lcp_graph
+
+type t = int array array
+
+let canonical g =
+  Array.init (Graph.order g) (fun v -> Array.of_list (Graph.neighbors g v))
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let random rng g =
+  let t = canonical g in
+  Array.iter (shuffle rng) t;
+  t
+
+let is_valid g t =
+  Array.length t = Graph.order g
+  && Graph.fold_nodes
+       (fun v ok ->
+         ok
+         && List.sort Stdlib.compare (Array.to_list t.(v)) = Graph.neighbors g v)
+       g true
+
+let port_of t v w =
+  let arr = t.(v) in
+  let rec find i =
+    if i = Array.length arr then raise Not_found
+    else if arr.(i) = w then i + 1
+    else find (i + 1)
+  in
+  find 0
+
+let neighbor_at t v p =
+  if p < 1 || p > Array.length t.(v) then
+    invalid_arg (Printf.sprintf "Port.neighbor_at: port %d out of range" p);
+  t.(v).(p - 1)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let enumerate g =
+  let per_node =
+    List.map
+      (fun v -> List.map Array.of_list (permutations (Graph.neighbors g v)))
+      (Graph.nodes g)
+  in
+  let rec product = function
+    | [] -> [ [] ]
+    | choices :: rest ->
+        let tails = product rest in
+        List.concat_map (fun c -> List.map (fun tl -> c :: tl) tails) choices
+  in
+  List.map Array.of_list (product per_node)
+
+let count g =
+  let rec fact n = if n <= 1 then 1 else n * fact (n - 1) in
+  Graph.fold_nodes (fun v acc -> acc * fact (Graph.degree g v)) g 1
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun v ns ->
+      Format.fprintf ppf "%d: %a@," v
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           Format.pp_print_int)
+        (Array.to_list ns))
+    t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+type 'o t = {
+  name : string;
+  radius : int;
+  step : View.t -> 'o option array -> 'o;
+}
+
+let make ~name ~radius step = { name; radius; step }
+
+let execute t inst ~order =
+  let n = Instance.order inst in
+  let sorted = List.sort_uniq Stdlib.compare order in
+  if sorted <> List.init n (fun i -> i) then
+    invalid_arg "Slocal.execute: order must be a permutation of the nodes";
+  let outputs = Array.make n None in
+  let views = View.extract_all inst ~r:t.radius in
+  List.iter
+    (fun v ->
+      let view = views.(v) in
+      (* previous outputs visible inside the ball, indexed by the view's
+         local nodes; global node recovered through identifiers *)
+      let prev =
+        Array.init (View.size view) (fun u ->
+            match Ident.node_of_id inst.Instance.ids (View.id view u) with
+            | Some w -> outputs.(w)
+            | None -> None)
+      in
+      outputs.(v) <- Some (t.step view prev))
+    order;
+  Array.map Option.get outputs
+
+let execute_canonical t inst = execute t inst ~order:(List.init (Instance.order inst) (fun i -> i))
+
+let greedy_coloring ~radius =
+  make ~name:"greedy" ~radius (fun view prev ->
+      let g = view.View.graph in
+      let used =
+        List.filter_map (fun w -> prev.(w)) (Lcp_graph.Graph.neighbors g 0)
+      in
+      let rec first c = if List.mem c used then first (c + 1) else c in
+      first 0)
+
+let first_fit_k ~radius ~k =
+  make ~name:"first-fit-k" ~radius (fun view prev ->
+      let g = view.View.graph in
+      let used =
+        List.filter_map (fun w -> prev.(w)) (Lcp_graph.Graph.neighbors g 0)
+      in
+      let rec first c = if c >= k then -1 else if List.mem c used then first (c + 1) else c in
+      first 0)
+
+let of_local_algo (algo : 'o Local_algo.t) =
+  make ~name:algo.Local_algo.name ~radius:algo.Local_algo.radius
+    (fun view _ -> algo.Local_algo.run view)

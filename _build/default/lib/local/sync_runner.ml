@@ -1,0 +1,86 @@
+open Lcp_graph
+
+type node_fact = { nid : int; nlabel : string }
+type edge_fact = { a : int; pa : int; b : int; pb : int }
+
+type knowledge = {
+  node_facts : node_fact list;
+  edge_facts : edge_fact list;
+}
+
+let normalize_edge_fact f = if f.a <= f.b then f else { a = f.b; pa = f.pb; b = f.a; pb = f.pa }
+
+let norm k =
+  {
+    node_facts = List.sort_uniq Stdlib.compare k.node_facts;
+    edge_facts = List.sort_uniq Stdlib.compare (List.map normalize_edge_fact k.edge_facts);
+  }
+
+let merge k1 k2 =
+  norm
+    {
+      node_facts = k1.node_facts @ k2.node_facts;
+      edge_facts = k1.edge_facts @ k2.edge_facts;
+    }
+
+let run (inst : Instance.t) ~rounds =
+  let g = inst.Instance.graph in
+  let n = Graph.order g in
+  let gid v = Ident.id inst.Instance.ids v in
+  let init v =
+    norm { node_facts = [ { nid = gid v; nlabel = inst.Instance.labels.(v) } ]; edge_facts = [] }
+  in
+  let state = ref (Array.init n init) in
+  for _ = 1 to rounds do
+    let prev = !state in
+    let next =
+      Array.init n (fun v ->
+          List.fold_left
+            (fun acc w ->
+              (* receiving prev.(w) over edge {v,w}; the header carries
+                 w's id and its port, so v can record the edge fact *)
+              let fact =
+                {
+                  a = gid v;
+                  pa = Port.port_of inst.Instance.ports v w;
+                  b = gid w;
+                  pb = Port.port_of inst.Instance.ports w v;
+                }
+              in
+              merge acc (merge prev.(w) { node_facts = []; edge_facts = [ fact ] }))
+            prev.(v) (Graph.neighbors g v))
+    in
+    state := next
+  done;
+  !state
+
+let knowledge_of_view (v : View.t) =
+  let m = View.size v in
+  let node_facts =
+    List.init m (fun u -> { nid = View.id v u; nlabel = View.label v u })
+  in
+  let edge_facts =
+    List.map
+      (fun (x, y) ->
+        {
+          a = View.id v x;
+          pa = View.port_of v x y;
+          b = View.id v y;
+          pb = View.port_of v y x;
+        })
+      (Graph.edges v.View.graph)
+  in
+  norm { node_facts; edge_facts }
+
+let knowledge_matches_view inst ~r =
+  let flooded = run inst ~rounds:r in
+  let n = Instance.order inst in
+  let rec go v =
+    if v = n then true
+    else
+      let expected = knowledge_of_view (View.extract inst ~r v) in
+      flooded.(v) = expected && go (v + 1)
+  in
+  go 0
+
+let messages_sent g ~rounds = 2 * Graph.size g * rounds

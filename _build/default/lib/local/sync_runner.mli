@@ -1,0 +1,35 @@
+(** Synchronous LOCAL-model simulator.
+
+    Nodes run [r] rounds of full-information flooding: in every round,
+    each node sends everything it knows over every incident edge
+    (tagging the message with its own identifier and the sending port),
+    then merges what it received. Knowledge is a set of node facts
+    [(id, label)] and edge facts [(id_a, port_a, id_b, port_b)].
+
+    After [r] rounds a node's knowledge is exactly its radius-[r] view:
+    [knowledge_matches_view] is the differential test used to validate
+    [View.extract] against an actual message-passing execution. *)
+
+open Lcp_graph
+
+type node_fact = { nid : int; nlabel : string }
+type edge_fact = { a : int; pa : int; b : int; pb : int }
+(** Edge facts are normalized so that [a < b]. *)
+
+type knowledge = {
+  node_facts : node_fact list;  (** sorted by id *)
+  edge_facts : edge_fact list;  (** sorted *)
+}
+
+val run : Instance.t -> rounds:int -> knowledge array
+(** Knowledge of every node after the given number of rounds. *)
+
+val knowledge_of_view : View.t -> knowledge
+(** The knowledge a node {e should} have, derived from its view. *)
+
+val knowledge_matches_view : Instance.t -> r:int -> bool
+(** Does flooding for [r] rounds produce, at every node, exactly the
+    knowledge of its radius-[r] view? *)
+
+val messages_sent : Graph.t -> rounds:int -> int
+(** Number of (directed) messages in a run — [2 * |E| * rounds]. *)

@@ -1,0 +1,266 @@
+open Lcp_graph
+
+type t = {
+  radius : int;
+  graph : Graph.t;
+  dist : int array;
+  ids : int array;
+  id_bound : int;
+  labels : string array;
+  ports : int array array;
+}
+
+(* Build a view from explicit pieces: the ball nodes (global), a
+   distance table, and lookup functions. Shared by [extract] and
+   [subview1]. Visible edges are supplied explicitly. *)
+let build ~radius ~id_bound ~ball ~gdist ~gid ~glabel ~gport ~edges =
+  (* ball sorted by (dist, id) -> local indices *)
+  let ball =
+    List.sort
+      (fun a b -> Stdlib.compare (gdist a, gid a) (gdist b, gid b))
+      ball
+  in
+  let old_of_new = Array.of_list ball in
+  let m = Array.length old_of_new in
+  let new_of_old = Hashtbl.create m in
+  Array.iteri (fun i v -> Hashtbl.replace new_of_old v i) old_of_new;
+  let local_edges =
+    List.map
+      (fun (a, b) -> (Hashtbl.find new_of_old a, Hashtbl.find new_of_old b))
+      edges
+  in
+  let graph = Graph.of_edges m local_edges in
+  let dist = Array.map gdist old_of_new in
+  let ids = Array.map gid old_of_new in
+  let labels = Array.map glabel old_of_new in
+  let ports =
+    Array.init m (fun u ->
+        let gu = old_of_new.(u) in
+        Array.of_list
+          (List.map (fun w -> gport gu old_of_new.(w)) (Graph.neighbors graph u)))
+  in
+  assert (dist.(0) = 0);
+  { radius; graph; dist; ids; id_bound; labels; ports }
+
+let extract (inst : Instance.t) ~r v =
+  if r < 1 then invalid_arg "View.extract: radius must be >= 1";
+  let g = inst.Instance.graph in
+  (* bounded BFS: cost proportional to the ball, not the whole graph *)
+  let dist_tbl : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.replace dist_tbl v 0;
+  let queue = Queue.create () in
+  Queue.add v queue;
+  let ball = ref [ v ] in
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    let dx = Hashtbl.find dist_tbl x in
+    if dx < r then
+      List.iter
+        (fun y ->
+          if not (Hashtbl.mem dist_tbl y) then begin
+            Hashtbl.replace dist_tbl y (dx + 1);
+            ball := y :: !ball;
+            Queue.add y queue
+          end)
+        (Graph.neighbors g x)
+  done;
+  let dist w = Hashtbl.find dist_tbl w in
+  (* visible edges: min endpoint distance <= r - 1; interior-interior
+     edges deduplicated by orientation, interior-fringe added once *)
+  let edges =
+    List.concat_map
+      (fun a ->
+        if dist a > r - 1 then []
+        else
+          List.filter_map
+            (fun b ->
+              let db = dist b in
+              if (db <= r - 1 && a < b) || db = r then Some (a, b) else None)
+            (Graph.neighbors g a))
+      !ball
+  in
+  build ~radius:r ~id_bound:inst.Instance.ids.Ident.bound ~ball:!ball
+    ~gdist:dist
+    ~gid:(fun w -> Ident.id inst.Instance.ids w)
+    ~glabel:(fun w -> inst.Instance.labels.(w))
+    ~gport:(fun a b -> Port.port_of inst.Instance.ports a b)
+    ~edges
+
+let extract_all inst ~r =
+  Array.init (Instance.order inst) (fun v -> extract inst ~r v)
+
+let center _ = 0
+let center_id t = t.ids.(0)
+let center_label t = t.labels.(0)
+let center_degree t = Graph.degree t.graph 0
+let size t = Graph.order t.graph
+let id t u = t.ids.(u)
+let label t u = t.labels.(u)
+let distance t u = t.dist.(u)
+
+let port_of t a b =
+  let rec find i = function
+    | [] -> raise Not_found
+    | w :: _ when w = b -> t.ports.(a).(i)
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 (Graph.neighbors t.graph a)
+
+let full_degree_known t u = t.dist.(u) < t.radius
+
+let find_by_id t i =
+  let m = size t in
+  let rec go u = if u = m then None else if t.ids.(u) = i then Some u else go (u + 1) in
+  go 0
+
+let center_neighbors t =
+  let triples =
+    List.map
+      (fun w -> (w, port_of t 0 w, port_of t w 0))
+      (Graph.neighbors t.graph 0)
+  in
+  List.sort (fun (_, p, _) (_, q, _) -> Stdlib.compare p q) triples
+
+let subview1 t w =
+  if not (full_degree_known t w) then
+    invalid_arg "View.subview1: node is on the fringe; its 1-view is unknown";
+  let ball = w :: Graph.neighbors t.graph w in
+  let edges = List.map (fun x -> (w, x)) (Graph.neighbors t.graph w) in
+  build ~radius:1 ~id_bound:t.id_bound ~ball
+    ~gdist:(fun x -> if x = w then 0 else 1)
+    ~gid:(fun x -> t.ids.(x))
+    ~glabel:(fun x -> t.labels.(x))
+    ~gport:(fun a b -> port_of t a b)
+    ~edges
+
+let restrict t ~r =
+  if r < 1 || r > t.radius then invalid_arg "View.restrict: bad radius";
+  if r = t.radius then t
+  else begin
+    let ball =
+      List.filter (fun u -> t.dist.(u) <= r) (List.init (size t) (fun i -> i))
+    in
+    let edges =
+      List.filter
+        (fun (a, b) -> min t.dist.(a) t.dist.(b) <= r - 1 && max t.dist.(a) t.dist.(b) <= r)
+        (Graph.edges t.graph)
+    in
+    build ~radius:r ~id_bound:t.id_bound ~ball
+      ~gdist:(fun u -> t.dist.(u))
+      ~gid:(fun u -> t.ids.(u))
+      ~glabel:(fun u -> t.labels.(u))
+      ~gport:(fun a b -> port_of t a b)
+      ~edges
+  end
+
+let map_labels t f = { t with labels = Array.map f t.labels }
+let mapi_labels t f = { t with labels = Array.mapi f t.labels }
+
+let reidentify t ~f ?id_bound () =
+  let m = size t in
+  let new_ids = Array.map f t.ids in
+  let max_id = Array.fold_left max 1 new_ids in
+  let id_bound = match id_bound with Some b -> b | None -> max t.id_bound max_id in
+  let seen = Hashtbl.create m in
+  Array.iter
+    (fun i ->
+      if i < 1 || i > id_bound then invalid_arg "View.reidentify: id out of range";
+      if Hashtbl.mem seen i then invalid_arg "View.reidentify: not injective";
+      Hashtbl.replace seen i ())
+    new_ids;
+  build ~radius:t.radius ~id_bound ~ball:(List.init m (fun i -> i))
+    ~gdist:(fun u -> t.dist.(u))
+    ~gid:(fun u -> new_ids.(u))
+    ~glabel:(fun u -> t.labels.(u))
+    ~gport:(fun a b -> port_of t a b)
+    ~edges:(Graph.edges t.graph)
+
+(* Canonical serialization. [relabel] maps local -> canonical index;
+   [id_repr] chooses how identifiers appear in the key. *)
+let serialize t ~relabel ~id_repr =
+  let m = size t in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "r=%d;N=%d;m=%d|" t.radius t.id_bound m);
+  (* inverse of relabel: canonical index -> local *)
+  let local_of = Array.make m (-1) in
+  Array.iteri (fun local canon -> local_of.(canon) <- local) relabel;
+  for canon = 0 to m - 1 do
+    let u = local_of.(canon) in
+    Buffer.add_string buf
+      (Printf.sprintf "n%d:d=%d;id=%s;l=%s;e=" canon t.dist.(u) (id_repr u)
+         (String.escaped t.labels.(u)));
+    let adj =
+      List.mapi
+        (fun i w -> (t.ports.(u).(i), port_of t w u, relabel.(w)))
+        (Graph.neighbors t.graph u)
+      |> List.sort Stdlib.compare
+    in
+    List.iter
+      (fun (p, q, w) -> Buffer.add_string buf (Printf.sprintf "(%d,%d,%d)" p q w))
+      adj;
+    Buffer.add_char buf '|'
+  done;
+  Buffer.contents buf
+
+let identity_relabel t = Array.init (size t) (fun i -> i)
+
+let key_identified t =
+  serialize t ~relabel:(identity_relabel t) ~id_repr:(fun u -> string_of_int t.ids.(u))
+
+let key_order_invariant t =
+  (* replace ids by their rank within the ball *)
+  let m = size t in
+  let sorted = Array.init m (fun i -> i) in
+  Array.sort (fun a b -> Stdlib.compare t.ids.(a) t.ids.(b)) sorted;
+  let rank = Array.make m 0 in
+  Array.iteri (fun r u -> rank.(u) <- r) sorted;
+  serialize t ~relabel:(identity_relabel t)
+    ~id_repr:(fun u -> Printf.sprintf "#%d" rank.(u))
+
+let key_anonymous t =
+  (* port-directed BFS from the center: deterministic and independent of
+     both ids and the (dist, id) storage order *)
+  let m = size t in
+  let relabel = Array.make m (-1) in
+  let next = ref 0 in
+  let assign u =
+    if relabel.(u) = -1 then begin
+      relabel.(u) <- !next;
+      incr next;
+      true
+    end
+    else false
+  in
+  let queue = Queue.create () in
+  ignore (assign 0);
+  Queue.add 0 queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let adj =
+      List.mapi (fun i w -> (t.ports.(u).(i), w)) (Graph.neighbors t.graph u)
+      |> List.sort Stdlib.compare
+    in
+    List.iter (fun (_, w) -> if assign w then Queue.add w queue) adj
+  done;
+  assert (!next = m);
+  serialize t ~relabel ~id_repr:(fun _ -> "_")
+
+let equal a b = key_identified a = key_identified b
+let compare a b = Stdlib.compare (key_identified a) (key_identified b)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>view r=%d center id=%d label=%S@,%a@,ids: %a@,dists: %a@]" t.radius
+    (center_id t) (center_label t) Graph.pp t.graph
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       Format.pp_print_int)
+    (Array.to_list t.ids)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       Format.pp_print_int)
+    (Array.to_list t.dist)
+
+let to_dot t =
+  Graph.to_dot t.graph ~name:"View" ~label:(fun u ->
+      Printf.sprintf "id=%d d=%d %s" t.ids.(u) t.dist.(u) t.labels.(u))

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Builders Graph Instance Lcp Lcp_graph Lcp_local Random View

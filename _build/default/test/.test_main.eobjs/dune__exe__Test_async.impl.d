@@ -1,0 +1,1 @@
+test/test_async.ml: Array Async_runner Builders Graph Helpers Instance Lcp_graph Lcp_local List Sync_runner

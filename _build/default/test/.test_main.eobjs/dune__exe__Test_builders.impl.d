@@ -1,0 +1,1 @@
+test/test_builders.ml: Alcotest Builders Coloring Graph Helpers Lcp_graph Metrics

@@ -1,0 +1,1 @@
+test/test_certificate.ml: Alcotest Certificate Helpers Lcp

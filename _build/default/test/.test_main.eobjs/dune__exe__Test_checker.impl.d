@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Builders Checker D_even_cycle D_trivial Decoder Format Graph Helpers Instance Labeling Lcp Lcp_graph Lcp_local String View

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Builders Codec D_degree_one D_shatter Decoder Filename Graph Helpers Instance Json Lcp Lcp_graph Lcp_local List Option Report Result Sys

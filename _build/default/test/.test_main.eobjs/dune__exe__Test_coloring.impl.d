@@ -1,0 +1,1 @@
+test/test_coloring.ml: Alcotest Array Builders Coloring Graph Helpers Lcp_graph List

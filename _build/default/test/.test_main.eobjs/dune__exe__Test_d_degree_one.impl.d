@@ -1,0 +1,1 @@
+test/test_d_degree_one.ml: Alcotest Array Builders Checker Coloring D_degree_one Decoder Helpers Instance Labeling Lcp Lcp_graph Lcp_local List View

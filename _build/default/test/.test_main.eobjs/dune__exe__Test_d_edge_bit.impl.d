@@ -1,0 +1,1 @@
+test/test_d_edge_bit.ml: Alcotest Array Builders D_edge_bit Decoder Helpers Hiding Instance Lcp Lcp_graph Lcp_local List Neighborhood Port Prover String

@@ -1,0 +1,1 @@
+test/test_d_even_cycle.ml: Alcotest Array Builders Certificate D_even_cycle Decoder Helpers Instance Lcp Lcp_graph Lcp_local List Port Prover View

@@ -1,0 +1,1 @@
+test/test_d_hidden_leaf.ml: Alcotest Array Builders Checker D_degree_one D_hidden_leaf Decoder Helpers Instance Lcp Lcp_graph Lcp_local List Prover View

@@ -1,0 +1,1 @@
+test/test_d_shatter.ml: Alcotest Array Builders D_shatter Decoder Graph Helpers Instance Lcp Lcp_graph Lcp_local

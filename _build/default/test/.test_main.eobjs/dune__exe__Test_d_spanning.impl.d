@@ -1,0 +1,1 @@
+test/test_d_spanning.ml: Array Builders Checker D_spanning Decoder Graph Helpers Instance Lcp Lcp_graph Lcp_local List

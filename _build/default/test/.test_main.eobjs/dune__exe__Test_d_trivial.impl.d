@@ -1,0 +1,1 @@
+test/test_d_trivial.ml: Alcotest Array Builders Coloring D_trivial Decoder Graph Helpers Instance Lcp Lcp_graph Lcp_local View

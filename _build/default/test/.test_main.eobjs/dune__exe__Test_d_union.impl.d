@@ -1,0 +1,1 @@
+test/test_d_union.ml: Alcotest Array Builders D_even_cycle D_union Decoder Helpers Instance Lcp Lcp_graph Lcp_local List String

@@ -1,0 +1,1 @@
+test/test_d_watermelon.ml: Alcotest Array Builders Certificate D_watermelon Decoder Helpers Instance Lcp Lcp_graph Lcp_local List Stdlib

@@ -1,0 +1,1 @@
+test/test_decoder.ml: Alcotest Array Builders D_degree_one D_even_cycle D_shatter D_spanning D_trivial D_union D_watermelon Decoder Graph Helpers Instance Lcp Lcp_graph Lcp_local List Local_algo View

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Enumerate Graph Helpers Lcp_graph List

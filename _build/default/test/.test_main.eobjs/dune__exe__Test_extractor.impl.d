@@ -1,0 +1,1 @@
+test/test_extractor.ml: Alcotest Array Builders Coloring D_even_cycle D_trivial Decoder Extractor Helpers Hiding Instance Lcp Lcp_graph Lcp_local List Neighborhood

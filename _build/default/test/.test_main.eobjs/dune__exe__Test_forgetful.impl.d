@@ -1,0 +1,1 @@
+test/test_forgetful.ml: Alcotest Array Builders Forgetful Graph Helpers Lcp_graph List Metrics Walks

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Builders Graph Helpers Lcp_graph List String

@@ -1,0 +1,1 @@
+test/test_hiding.ml: Alcotest Builders Coloring D_even_cycle D_trivial Decoder Format Graph Helpers Hiding Instance Lcp Lcp_graph Lcp_local List Neighborhood String

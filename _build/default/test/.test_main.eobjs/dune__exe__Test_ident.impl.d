@@ -1,0 +1,1 @@
+test/test_ident.ml: Alcotest Array Builders Helpers Ident Lcp_graph Lcp_local List

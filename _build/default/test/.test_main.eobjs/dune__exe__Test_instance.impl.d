@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array Builders Helpers Ident Instance Lcp_graph Lcp_local

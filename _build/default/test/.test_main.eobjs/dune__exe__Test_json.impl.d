@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Helpers Json Lcp List Result

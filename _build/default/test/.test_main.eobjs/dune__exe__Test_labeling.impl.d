@@ -1,0 +1,1 @@
+test/test_labeling.ml: Alcotest Array Builders Helpers Labeling Lcp_graph Lcp_local List Stdlib

@@ -1,0 +1,1 @@
+test/test_local_algo.ml: Alcotest Array Builders Coloring Helpers Instance Lcp_graph Lcp_local Local_algo View

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Builders Graph Helpers Lcp_graph List Metrics Walks

@@ -1,0 +1,1 @@
+test/test_nb_walks.ml: Alcotest Array Builders D_trivial Decoder Helpers Instance Lcp Lcp_graph Lcp_local List Metrics Nb_walks Neighborhood View Walks

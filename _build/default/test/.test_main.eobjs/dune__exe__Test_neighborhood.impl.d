@@ -1,0 +1,1 @@
+test/test_neighborhood.ml: Alcotest Array Builders Coloring D_even_cycle D_trivial Decoder Helpers Ident Instance Lcp Lcp_graph Lcp_local List Neighborhood String View

@@ -1,0 +1,1 @@
+test/test_port.ml: Alcotest Builders Helpers Lcp_graph Lcp_local List Port Stdlib

@@ -1,0 +1,1 @@
+test/test_prover.ml: Alcotest Array Builders D_degree_one D_trivial Decoder Helpers Instance Labeling Lcp Lcp_graph Lcp_local List Prover Stdlib

@@ -1,0 +1,1 @@
+test/test_quantified.ml: Array Builders Coloring D_degree_one D_even_cycle D_trivial Decoder Enumerate Graph Helpers Instance Lcp Lcp_graph Lcp_local List Neighborhood Quantified

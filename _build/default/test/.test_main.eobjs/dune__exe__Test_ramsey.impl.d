@@ -1,0 +1,1 @@
+test/test_ramsey.ml: Alcotest Array Builders Checker D_trivial Decoder Hashtbl Helpers Instance Lcp Lcp_graph Lcp_local List Ramsey Stdlib View

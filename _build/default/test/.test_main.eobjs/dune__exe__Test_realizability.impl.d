@@ -1,0 +1,1 @@
+test/test_realizability.ml: Alcotest Array Builders Coloring D_degree_one Decoder Enumerate Graph Helpers Ident Instance Lcp Lcp_graph Lcp_local List Neighborhood Option Realizability String View

@@ -1,0 +1,1 @@
+test/test_report.ml: Format Helpers Lcp Report Test_graph

@@ -1,0 +1,1 @@
+test/test_resilient.ml: Array Builders D_degree_one D_trivial Decoder Graph Helpers Instance Lcp Lcp_graph Lcp_local List Option Printf Resilient String

@@ -1,0 +1,1 @@
+test/test_slocal.ml: Alcotest Array Builders Coloring Graph Helpers Instance Lcp_graph Lcp_local List Local_algo Slocal View

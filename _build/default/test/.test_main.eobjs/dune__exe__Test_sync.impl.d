@@ -1,0 +1,1 @@
+test/test_sync.ml: Array Builders Helpers Instance Lcp_graph Lcp_local List Sync_runner

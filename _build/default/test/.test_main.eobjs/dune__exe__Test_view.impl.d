@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Array Builders Graph Helpers Ident Instance Lcp_graph Lcp_local List Option Printf String View

@@ -1,0 +1,1 @@
+test/test_walks.ml: Alcotest Builders Helpers Lcp_graph List Walks

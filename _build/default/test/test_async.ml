@@ -1,0 +1,60 @@
+open Lcp_graph
+open Lcp_local
+open Helpers
+
+let test_quiescence_full_knowledge () =
+  let inst = Instance.make (Builders.cycle 6) in
+  let final, stats = Async_runner.run_to_quiescence inst in
+  Array.iter
+    (fun k ->
+      check_int "all nodes known" 6 (List.length k.Sync_runner.node_facts);
+      check_int "all edges known" 6 (List.length k.Sync_runner.edge_facts))
+    final;
+  check_bool "made progress" true (stats.Async_runner.deliveries > 0)
+
+let test_schedulers_agree () =
+  let inst = Instance.make (Builders.grid 3 3) in
+  let fifo, _ = Async_runner.run_to_quiescence ~scheduler:`Fifo inst in
+  let lifo, _ = Async_runner.run_to_quiescence ~scheduler:`Lifo inst in
+  let random, _ =
+    Async_runner.run_to_quiescence ~scheduler:(`Random (rng ())) inst
+  in
+  check_bool "fifo = lifo" true (fifo = lifo);
+  check_bool "fifo = random" true (fifo = random)
+
+let test_matches_views () =
+  List.iter
+    (fun g ->
+      let inst = Instance.make g in
+      check_bool "contains view knowledge (r=1)" true
+        (Async_runner.eventually_matches_views inst ~r:1);
+      check_bool "contains view knowledge (r=2)" true
+        (Async_runner.eventually_matches_views inst ~r:2))
+    [ Builders.path 5; Builders.star 4; Builders.theta 2 2 3 ]
+
+let test_disconnected () =
+  let g = Graph.disjoint_union (Builders.path 2) (Builders.path 2) in
+  let inst = Instance.make g in
+  let final, _ = Async_runner.run_to_quiescence inst in
+  check_int "own component only" 2 (List.length final.(0).Sync_runner.node_facts);
+  check_bool "no cross knowledge" true
+    (List.for_all
+       (fun f -> f.Sync_runner.nid <= 2)
+       final.(0).Sync_runner.node_facts)
+
+let test_matches_sync_limit () =
+  (* asynchronous quiescent knowledge equals synchronous knowledge after
+     enough rounds *)
+  let inst = Instance.make (Builders.path 6) in
+  let final, _ = Async_runner.run_to_quiescence inst in
+  let sync = Sync_runner.run inst ~rounds:10 in
+  check_bool "fixpoints coincide" true (final = sync)
+
+let suite =
+  [
+    case "quiescence reaches full knowledge" test_quiescence_full_knowledge;
+    case "schedulers agree at quiescence" test_schedulers_agree;
+    case "knowledge contains views" test_matches_views;
+    case "disconnected components isolated" test_disconnected;
+    case "async fixpoint = sync fixpoint" test_matches_sync_limit;
+  ]

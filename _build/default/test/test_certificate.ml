@@ -1,0 +1,32 @@
+open Lcp
+open Helpers
+
+let test_fields_join () =
+  Alcotest.(check (list string)) "split" [ "a"; "b"; "c" ]
+    (Certificate.fields "a:b:c");
+  Alcotest.(check string) "roundtrip" "a:b:c"
+    (Certificate.join (Certificate.fields "a:b:c"));
+  Alcotest.(check (list string)) "empty fields" [ ""; "" ] (Certificate.fields ":")
+
+let test_int_field () =
+  Alcotest.(check (option int)) "plain" (Some 42) (Certificate.int_field "42");
+  Alcotest.(check (option int)) "zero" (Some 0) (Certificate.int_field "0");
+  Alcotest.(check (option int)) "negative" None (Certificate.int_field "-1");
+  Alcotest.(check (option int)) "junk" None (Certificate.int_field "x");
+  Alcotest.(check (option int)) "empty" None (Certificate.int_field "");
+  Alcotest.(check (option int)) "spaces" None (Certificate.int_field " 1")
+
+let test_bits () =
+  check_int "1 bit for 0..1" 1 (Certificate.bits_for_int ~max:1);
+  check_int "2 bits for 0..3" 2 (Certificate.bits_for_int ~max:3);
+  check_int "3 bits for 0..4" 3 (Certificate.bits_for_int ~max:4);
+  check_int "1 bit minimum" 1 (Certificate.bits_for_int ~max:0);
+  check_int "id bits" 4 (Certificate.bits_for_id ~bound:15);
+  check_int "sum" 6 (Certificate.bits_of_parts [ 1; 2; 3 ])
+
+let suite =
+  [
+    case "fields / join" test_fields_join;
+    case "int_field" test_int_field;
+    case "bit accounting" test_bits;
+  ]

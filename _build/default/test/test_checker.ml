@@ -1,0 +1,122 @@
+open Lcp_graph
+open Lcp_local
+open Lcp
+open Helpers
+
+(* a deliberately broken suite: accepts everything *)
+let accept_all_suite =
+  {
+    Decoder.dec = Decoder.make ~name:"accept-all" ~radius:1 ~anonymous:true (fun _ -> true);
+    promise = (fun _ -> true);
+    prover = (fun inst -> Some (Labeling.const inst.Instance.graph "ok"));
+    adversary_alphabet = (fun _ -> [ "ok" ]);
+    cert_bits = (fun _ -> 1);
+  }
+
+(* a broken prover: emits garbage *)
+let broken_prover_suite =
+  let t = D_trivial.suite ~k:2 in
+  { t with Decoder.prover = (fun inst -> Some (Labeling.const inst.Instance.graph "9")) }
+
+let test_completeness_pass () =
+  let v =
+    Checker.completeness (D_trivial.suite ~k:2)
+      [ Instance.make (Builders.path 4); Instance.make (c4 ()) ]
+  in
+  check_bool "pass" true (Checker.is_pass v)
+
+let test_completeness_skips_non_promise () =
+  let v =
+    Checker.completeness D_even_cycle.suite [ Instance.make (Builders.path 4) ]
+  in
+  (match v with
+  | Checker.Pass { checked } -> check_int "skipped" 0 checked
+  | Checker.Fail _ -> Alcotest.fail "should skip")
+
+let test_completeness_detects_broken_prover () =
+  let v = Checker.completeness broken_prover_suite [ Instance.make (Builders.path 4) ] in
+  check_bool "fails" false (Checker.is_pass v)
+
+let test_soundness_pass_and_fail () =
+  check_bool "trivial sound on C5" true
+    (Checker.is_pass
+       (Checker.soundness_exhaustive (D_trivial.suite ~k:2) [ Instance.make (c5 ()) ]));
+  (match Checker.soundness_exhaustive accept_all_suite [ Instance.make (c5 ()) ] with
+  | Checker.Fail { detail; _ } ->
+      check_bool "counterexample reported" true (String.length detail > 0)
+  | Checker.Pass _ -> Alcotest.fail "accept-all is unsound")
+
+let test_soundness_skips_bipartite () =
+  match Checker.soundness_exhaustive accept_all_suite [ Instance.make (c4 ()) ] with
+  | Checker.Pass { checked } -> check_int "skipped" 0 checked
+  | Checker.Fail _ -> Alcotest.fail "bipartite skipped"
+
+let test_strong_exhaustive () =
+  check_bool "trivial strongly sound on C3" true
+    (Checker.is_pass
+       (Checker.strong_soundness_exhaustive (D_trivial.suite ~k:2) ~k:2
+          [ Instance.make (Builders.cycle 3) ]));
+  (match
+     Checker.strong_soundness_exhaustive accept_all_suite ~k:2
+       [ Instance.make (Builders.cycle 3) ]
+   with
+  | Checker.Fail { instance; _ } ->
+      check_bool "counterexample is the C3" true
+        (Graph.equal instance.Instance.graph (Builders.cycle 3))
+  | Checker.Pass _ -> Alcotest.fail "accept-all violates strong soundness")
+
+let test_strong_random () =
+  check_bool "random finds accept-all violation" false
+    (Checker.is_pass
+       (Checker.strong_soundness_random accept_all_suite ~k:2 ~trials:50 (rng ())
+          [ Instance.make (Builders.cycle 3) ]))
+
+let test_strong_k3 () =
+  (* strong soundness with k = 3 for the trivial 3-coloring LCP on K4 *)
+  check_bool "3-col strongly sound on K4" true
+    (Checker.is_pass
+       (Checker.strong_soundness_exhaustive (D_trivial.suite ~k:3) ~k:3
+          [ Instance.make (k4 ()) ]))
+
+let test_anonymity_checker () =
+  let i = certify_exn (D_trivial.suite ~k:2) (Builders.path 4) in
+  check_bool "trivial anonymous" true
+    (Checker.is_pass (Checker.anonymity (D_trivial.decoder ~k:2) ~trials:10 (rng ()) [ i ]));
+  let id_peek =
+    Decoder.make ~name:"peek" ~radius:1 ~anonymous:false (fun v ->
+        View.center_id v mod 2 = 0)
+  in
+  check_bool "peeking decoder caught" false
+    (Checker.is_pass (Checker.anonymity id_peek ~trials:10 (rng ()) [ i ]))
+
+let test_order_invariance_checker () =
+  let i = certify_exn (D_trivial.suite ~k:2) (Builders.path 4) in
+  let local_max =
+    Decoder.make ~name:"lmax" ~radius:1 ~anonymous:false (fun v ->
+        let m = View.size v in
+        let rec go u = u = m || (View.id v u <= View.center_id v && go (u + 1)) in
+        go 0)
+  in
+  check_bool "order-invariant decoder passes" true
+    (Checker.is_pass (Checker.order_invariance local_max ~trials:10 (rng ()) [ i ]))
+
+let test_pp_verdict () =
+  let s =
+    Format.asprintf "%a" Checker.pp_verdict (Checker.Pass { checked = 3 })
+  in
+  check_bool "prints" true (String.length s > 0)
+
+let suite =
+  [
+    case "completeness pass" test_completeness_pass;
+    case "completeness skips non-promise" test_completeness_skips_non_promise;
+    case "completeness detects broken prover" test_completeness_detects_broken_prover;
+    case "soundness pass/fail" test_soundness_pass_and_fail;
+    case "soundness skips bipartite" test_soundness_skips_bipartite;
+    case "strong soundness exhaustive" test_strong_exhaustive;
+    case "strong soundness random" test_strong_random;
+    case "strong soundness k=3" test_strong_k3;
+    case "anonymity checker" test_anonymity_checker;
+    case "order-invariance checker" test_order_invariance_checker;
+    case "verdict printing" test_pp_verdict;
+  ]

@@ -1,0 +1,175 @@
+open Lcp_graph
+open Lcp_local
+open Lcp
+open Helpers
+
+let dec = D_shatter.decoder
+
+let test_shatter_point_detection () =
+  Alcotest.(check (option int)) "P5 middle shatters" (Some 2)
+    (D_shatter.shatter_point (Builders.path 5));
+  Alcotest.(check (option int)) "star leaf shatters" (Some 1)
+    (D_shatter.shatter_point (Builders.star 3));
+  check_bool "P4 none" true (D_shatter.shatter_point (Builders.path 4) = None);
+  check_bool "cycles never" true (D_shatter.shatter_point (Builders.cycle 8) = None);
+  check_bool "cliques never" true (D_shatter.shatter_point (k4 ()) = None)
+
+let test_encodings_parse () =
+  let i =
+    Instance.make (Builders.path 5)
+      ~labels:
+        [|
+          D_shatter.encode_type2 ~id:3 ~comp:1 ~color:0;
+          D_shatter.encode_type1 ~id:3 ~colors:[ 0; 1 ];
+          D_shatter.encode_type0 ~id:3;
+          D_shatter.encode_type1 ~id:3 ~colors:[ 0; 1 ];
+          D_shatter.encode_type2 ~id:3 ~comp:2 ~color:1;
+        |]
+  in
+  check_bool "hand-built certificates accepted" true (Decoder.accepts_all dec i)
+
+let test_id_disagreement_rejected () =
+  let i =
+    Instance.make (Builders.path 5)
+      ~labels:
+        [|
+          D_shatter.encode_type2 ~id:3 ~comp:1 ~color:0;
+          D_shatter.encode_type1 ~id:3 ~colors:[ 0; 1 ];
+          D_shatter.encode_type0 ~id:3;
+          D_shatter.encode_type1 ~id:4 ~colors:[ 0; 1 ];
+          D_shatter.encode_type2 ~id:3 ~comp:2 ~color:1;
+        |]
+  in
+  check_bool "id mismatch caught" false (Decoder.accepts_all dec i)
+
+let test_type0_id_must_match () =
+  (* the shatter point must carry its own identifier *)
+  let i =
+    Instance.make (Builders.star 2)
+      ~labels:
+        [|
+          D_shatter.encode_type0 ~id:9;
+          D_shatter.encode_type1 ~id:9 ~colors:[ 0 ];
+          D_shatter.encode_type1 ~id:9 ~colors:[ 0 ];
+        |]
+  in
+  check_bool "foreign id rejected" false ((Decoder.run dec i).(0))
+
+let test_type1_content_agreement () =
+  let mk c1 =
+    Instance.make (Builders.path 5)
+      ~labels:
+        [|
+          D_shatter.encode_type2 ~id:3 ~comp:1 ~color:0;
+          D_shatter.encode_type1 ~id:3 ~colors:[ 0; c1 ];
+          D_shatter.encode_type0 ~id:3;
+          D_shatter.encode_type1 ~id:3 ~colors:[ 0; 1 ];
+          D_shatter.encode_type2 ~id:3 ~comp:2 ~color:1;
+        |]
+  in
+  check_bool "agreeing vectors accepted" true (Decoder.accepts_all dec (mk 1));
+  check_bool "disagreeing vectors rejected" false ((Decoder.run dec (mk 0)).(2))
+
+let test_adjacent_type1_rejected () =
+  (* two adjacent type-1 nodes: condition 2(a) *)
+  let i =
+    Instance.make (Builders.path 3)
+      ~labels:
+        [|
+          D_shatter.encode_type1 ~id:2 ~colors:[ 0 ];
+          D_shatter.encode_type1 ~id:2 ~colors:[ 0 ];
+          D_shatter.encode_type0 ~id:2;
+        |]
+  in
+  check_bool "independence enforced" false ((Decoder.run dec i).(0))
+
+let test_component_color_cross_check () =
+  (* a type-2 node whose color contradicts the vector: conditions 2(c)/3(b) *)
+  let i =
+    Instance.make (Builders.path 5)
+      ~labels:
+        [|
+          D_shatter.encode_type2 ~id:3 ~comp:1 ~color:1; (* vector says 0 *)
+          D_shatter.encode_type1 ~id:3 ~colors:[ 0; 1 ];
+          D_shatter.encode_type0 ~id:3;
+          D_shatter.encode_type1 ~id:3 ~colors:[ 0; 1 ];
+          D_shatter.encode_type2 ~id:3 ~comp:2 ~color:1;
+        |]
+  in
+  let v = Decoder.run dec i in
+  check_bool "type-2 rejects" false v.(0);
+  check_bool "type-1 rejects" false v.(1)
+
+let test_component_number_consistency () =
+  (* adjacent type-2 nodes in different components: condition 3(c) *)
+  let i =
+    Instance.make (Builders.path 6)
+      ~labels:
+        [|
+          D_shatter.encode_type2 ~id:4 ~comp:1 ~color:0;
+          D_shatter.encode_type2 ~id:4 ~comp:2 ~color:1;
+          D_shatter.encode_type1 ~id:4 ~colors:[ 0; 1 ];
+          D_shatter.encode_type0 ~id:4;
+          D_shatter.encode_type1 ~id:4 ~colors:[ 0; 1 ];
+          D_shatter.encode_type2 ~id:4 ~comp:2 ~color:0;
+        |]
+  in
+  let v = Decoder.run dec i in
+  check_bool "component clash" false (v.(0) && v.(1))
+
+let test_out_of_range_component () =
+  let i =
+    Instance.make (Builders.path 5)
+      ~labels:
+        [|
+          D_shatter.encode_type2 ~id:3 ~comp:7 ~color:0;
+          D_shatter.encode_type1 ~id:3 ~colors:[ 0; 1 ];
+          D_shatter.encode_type0 ~id:3;
+          D_shatter.encode_type1 ~id:3 ~colors:[ 0; 1 ];
+          D_shatter.encode_type2 ~id:3 ~comp:2 ~color:1;
+        |]
+  in
+  check_bool "vector bounds enforced" false ((Decoder.run dec i).(1))
+
+let test_prover_on_spider () =
+  let g =
+    Graph.of_edges 7 [ (0, 1); (0, 2); (0, 3); (1, 4); (2, 5); (3, 6) ]
+  in
+  let inst = Instance.make g in
+  match D_shatter.prover inst with
+  | Some lab ->
+      check_bool "accepted" true
+        (Decoder.accepts_all dec (Instance.with_labels inst lab))
+  | None -> Alcotest.fail "spider has shatter points"
+
+let test_prover_refuses () =
+  check_bool "no shatter point" true
+    (D_shatter.prover (Instance.make (Builders.cycle 6)) = None);
+  check_bool "not bipartite" true
+    (D_shatter.prover (Instance.make (Builders.friendship 2)) = None)
+
+let test_prover_random_ids () =
+  let r = rng () in
+  let g = Builders.path 6 in
+  let inst = Instance.random r g in
+  match D_shatter.prover inst with
+  | Some lab ->
+      check_bool "accepted under random ids" true
+        (Decoder.accepts_all dec (Instance.with_labels inst lab))
+  | None -> Alcotest.fail "P6 certifiable"
+
+let suite =
+  [
+    case "shatter point detection" test_shatter_point_detection;
+    case "hand-built certificates accepted" test_encodings_parse;
+    case "id disagreement rejected" test_id_disagreement_rejected;
+    case "type-0 id verified" test_type0_id_must_match;
+    case "type-1 content agreement" test_type1_content_agreement;
+    case "adjacent type-1 rejected" test_adjacent_type1_rejected;
+    case "color cross-checks" test_component_color_cross_check;
+    case "component numbers consistent" test_component_number_consistency;
+    case "vector bounds" test_out_of_range_component;
+    case "prover on a spider" test_prover_on_spider;
+    case "prover refuses non-promise" test_prover_refuses;
+    case "prover under random ids" test_prover_random_ids;
+  ]

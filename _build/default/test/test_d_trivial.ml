@@ -1,0 +1,54 @@
+open Lcp_graph
+open Lcp_local
+open Lcp
+open Helpers
+
+let dec = D_trivial.decoder ~k:2
+
+let view_of labels pos =
+  View.extract (Instance.make (Builders.path 3) ~labels) ~r:1 pos
+
+let test_accepts_proper () =
+  check_bool "middle of 010" true (dec.Decoder.accepts (view_of [| "0"; "1"; "0" |] 1));
+  check_bool "end" true (dec.Decoder.accepts (view_of [| "0"; "1"; "0" |] 0))
+
+let test_rejects_clash () =
+  check_bool "monochromatic edge" false
+    (dec.Decoder.accepts (view_of [| "0"; "0"; "1" |] 0));
+  check_bool "clash at middle" false
+    (dec.Decoder.accepts (view_of [| "0"; "0"; "0" |] 1))
+
+let test_rejects_malformed () =
+  check_bool "own junk" false (dec.Decoder.accepts (view_of [| "x"; "1"; "0" |] 0));
+  check_bool "neighbor junk" false (dec.Decoder.accepts (view_of [| "0"; "x"; "0" |] 0));
+  check_bool "out of range" false (dec.Decoder.accepts (view_of [| "2"; "1"; "0" |] 0));
+  check_bool "negative" false (dec.Decoder.accepts (view_of [| "-1"; "0"; "1" |] 0))
+
+let test_k3 () =
+  let d3 = D_trivial.decoder ~k:3 in
+  check_bool "color 2 valid at k=3" true
+    (d3.Decoder.accepts (view_of [| "2"; "1"; "0" |] 0));
+  check_bool "color 2 invalid at k=2" false
+    (dec.Decoder.accepts (view_of [| "2"; "1"; "0" |] 0))
+
+let test_prover_matches_promise () =
+  check_bool "C5 refused" true (D_trivial.prover ~k:2 (Instance.make (c5 ())) = None);
+  match D_trivial.prover ~k:3 (Instance.make (c5 ())) with
+  | Some lab ->
+      check_bool "proper 3-coloring" true
+        (Coloring.is_proper_k (c5 ()) ~k:3 (Array.map int_of_string lab))
+  | None -> Alcotest.fail "C5 is 3-colorable"
+
+let test_isolated_node () =
+  let i = Instance.make (Graph.empty 1) ~labels:[| "0" |] in
+  check_bool "isolated accepts" true (Decoder.accepts_all dec i)
+
+let suite =
+  [
+    case "accepts proper colorings" test_accepts_proper;
+    case "rejects clashes" test_rejects_clash;
+    case "rejects malformed certificates" test_rejects_malformed;
+    case "k parameter" test_k3;
+    case "prover respects colorability" test_prover_matches_promise;
+    case "isolated node" test_isolated_node;
+  ]

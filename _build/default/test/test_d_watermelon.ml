@@ -1,0 +1,133 @@
+open Lcp_graph
+open Lcp_local
+open Lcp
+open Helpers
+
+let dec = D_watermelon.decoder
+
+let test_decompose () =
+  (match D_watermelon.decompose (Builders.watermelon [ 2; 3; 4 ]) with
+  | Some { D_watermelon.v1; v2; paths } ->
+      check_int "v1" 0 v1;
+      check_int "v2" 1 v2;
+      check_int "three paths" 3 (List.length paths);
+      Alcotest.(check int_list) "path lengths (edges)" [ 2; 3; 4 ]
+        (List.sort Stdlib.compare (List.map (fun p -> List.length p - 1) paths))
+  | None -> Alcotest.fail "watermelon recognized");
+  check_bool "path rejected" true (D_watermelon.decompose (Builders.path 6) = None);
+  check_bool "tree rejected" true (D_watermelon.decompose (Builders.star 4) = None);
+  check_bool "clique rejected" true (D_watermelon.decompose (k4 ()) = None);
+  check_bool "cycle accepted" true (D_watermelon.decompose (Builders.cycle 6) <> None);
+  check_bool "theta accepted" true (D_watermelon.decompose (Builders.theta 2 2 3) <> None)
+
+let test_honest_accepted () =
+  List.iter
+    (fun ls ->
+      let i = certify_exn D_watermelon.suite (Builders.watermelon ls) in
+      check_bool "accepted" true (Decoder.accepts_all dec i))
+    [ [ 2; 2 ]; [ 3; 3 ]; [ 2; 4 ]; [ 2; 2; 2 ]; [ 3; 5; 3 ] ]
+
+let test_prover_refuses () =
+  check_bool "mixed parity (odd cycle)" true
+    (D_watermelon.prover (Instance.make (Builders.watermelon [ 2; 3 ])) = None);
+  check_bool "non-watermelon" true
+    (D_watermelon.prover (Instance.make (Builders.star 3)) = None)
+
+let test_endpoint_id_check () =
+  let i = certify_exn D_watermelon.suite (Builders.watermelon [ 2; 2 ]) in
+  let lab = Array.copy i.Instance.labels in
+  (* claim foreign endpoints everywhere: endpoints no longer carry one
+     of the claimed ids *)
+  let rewrite s =
+    match Certificate.fields s with
+    | "1" :: _ -> D_watermelon.encode_endpoint ~id1:2 ~id2:4
+    | "2" :: _ :: _ :: rest -> Certificate.join ("2" :: "2" :: "4" :: rest)
+    | _ -> s
+  in
+  let lab = Array.map rewrite lab in
+  let v = Decoder.run dec (Instance.with_labels i lab) in
+  (* endpoint 0 carries id 1, which is outside the claimed pair (2,4);
+     endpoint 1 carries id 2 and may legitimately still accept *)
+  check_bool "endpoint rejects foreign pair" false v.(0)
+
+let test_path_number_distinct () =
+  let i = certify_exn D_watermelon.suite (Builders.watermelon [ 2; 2 ]) in
+  let lab = Array.copy i.Instance.labels in
+  (* renumber both paths to 1: the endpoints see duplicate numbers *)
+  let renumber s =
+    match Certificate.fields s with
+    | [ "2"; a; b; _; p1; c1; p2; c2 ] ->
+        Certificate.join [ "2"; a; b; "1"; p1; c1; p2; c2 ]
+    | _ -> s
+  in
+  let lab = Array.map renumber lab in
+  let v = Decoder.run dec (Instance.with_labels i lab) in
+  check_bool "duplicate numbers rejected at endpoints" false (v.(0) || v.(1))
+
+let test_endpoint_monochromatic () =
+  (* recolor one path's edges inverted: endpoint sees two colors *)
+  let i = certify_exn D_watermelon.suite (Builders.watermelon [ 2; 2 ]) in
+  let lab = Array.copy i.Instance.labels in
+  let invert s =
+    match Certificate.fields s with
+    | [ "2"; a; b; "2"; p1; c1; p2; c2 ] ->
+        let flip c = if c = "0" then "1" else "0" in
+        Certificate.join [ "2"; a; b; "2"; p1; flip c1; p2; flip c2 ]
+    | _ -> s
+  in
+  let lab = Array.map invert lab in
+  let v = Decoder.run dec (Instance.with_labels i lab) in
+  check_bool "bichromatic endpoint rejected" false (v.(0) || v.(1))
+
+let test_interior_alternation () =
+  (* certificates with c1 = c2 are malformed *)
+  let bad = D_watermelon.encode_path_node ~id1:1 ~id2:3 ~num:1 ~p1:1 ~c1:0 ~p2:1 ~c2:0 in
+  let i =
+    Instance.make (Builders.watermelon [ 2; 2 ])
+      ~labels:[| "1:1:3"; "1:1:3"; bad; bad |]
+  in
+  let v = Decoder.run dec i in
+  check_bool "equal colors malformed" false (v.(2) || v.(3))
+
+let test_port_crosscheck () =
+  let i = certify_exn D_watermelon.suite (Builders.watermelon [ 2; 4 ]) in
+  let lab = Array.copy i.Instance.labels in
+  (* corrupt a far-port claim on an interior node of the long path *)
+  let corrupt s =
+    match Certificate.fields s with
+    | [ "2"; a; b; n; p1; c1; p2; c2 ] ->
+        let p1' = if p1 = "1" then "2" else "1" in
+        Certificate.join [ "2"; a; b; n; p1'; c1; p2; c2 ]
+    | _ -> s
+  in
+  lab.(4) <- corrupt lab.(4);
+  check_bool "far-port corruption caught" false
+    (Decoder.accepts_all dec (Instance.with_labels i lab))
+
+let test_degree_two_enforced () =
+  (* a path node certificate at a degree-3 node is rejected *)
+  let g = Builders.star 3 in
+  let cert = D_watermelon.encode_path_node ~id1:1 ~id2:2 ~num:1 ~p1:1 ~c1:0 ~p2:1 ~c2:1 in
+  let i = Instance.make g ~labels:(Array.make 4 cert) in
+  check_bool "hub rejected" false ((Decoder.run dec i).(0))
+
+let test_cert_sizes_logarithmic () =
+  let bits n =
+    let i = Instance.make (Builders.watermelon [ n; n ]) in
+    D_watermelon.suite.Decoder.cert_bits i
+  in
+  check_bool "grows slowly" true (bits 32 - bits 4 <= 12)
+
+let suite =
+  [
+    case "decompose" test_decompose;
+    case "honest certificates accepted" test_honest_accepted;
+    case "prover refuses non-promise" test_prover_refuses;
+    case "endpoint identity checked" test_endpoint_id_check;
+    case "path numbers distinct" test_path_number_distinct;
+    case "endpoints monochromatic" test_endpoint_monochromatic;
+    case "interior alternation" test_interior_alternation;
+    case "far-port cross-check" test_port_crosscheck;
+    case "degree two enforced" test_degree_two_enforced;
+    case "certificate size" test_cert_sizes_logarithmic;
+  ]

@@ -1,0 +1,54 @@
+open Lcp_graph
+open Helpers
+
+let test_counts () =
+  check_int "graphs on 3" 8 (List.length (Enumerate.all_graphs 3));
+  check_int "count formula" 8 (Enumerate.count_graphs 3);
+  check_int "graphs on 4" 64 (List.length (Enumerate.all_graphs 4));
+  check_int "graphs on 0" 1 (List.length (Enumerate.all_graphs 0));
+  check_int "graphs on 1" 1 (List.length (Enumerate.all_graphs 1))
+
+let test_connected () =
+  (* labeled connected graphs: 1, 1, 1, 4, 38 for n = 0..4 *)
+  check_int "connected on 3" 4 (List.length (Enumerate.connected_graphs 3));
+  check_int "connected on 4" 38 (List.length (Enumerate.connected_graphs 4));
+  check_bool "all connected" true
+    (List.for_all Graph.is_connected (Enumerate.connected_graphs 4))
+
+let test_up_to_iso () =
+  (* connected graphs up to isomorphism: 1, 1, 2, 6, 21 for n = 1..5 *)
+  check_int "iso classes n=3" 2 (List.length (Enumerate.connected_up_to_iso 3));
+  check_int "iso classes n=4" 6 (List.length (Enumerate.connected_up_to_iso 4));
+  check_int "iso classes n=5" 21 (List.length (Enumerate.connected_up_to_iso 5))
+
+let test_up_to_iso_distinct () =
+  let reps = Enumerate.connected_up_to_iso 4 in
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  check_bool "pairwise non-isomorphic" true
+    (List.for_all (fun (a, b) -> not (Graph.isomorphic a b)) (pairs reps))
+
+let test_bipartite_split () =
+  let all = Enumerate.connected_up_to_iso 4 in
+  let b = Enumerate.bipartite all and nb = Enumerate.non_bipartite all in
+  check_int "partition" (List.length all) (List.length b + List.length nb);
+  (* non-bipartite connected on 4 nodes up to iso: C3+pendant, C4+chord
+     (diamond), K4, C3 alone is n=3 — count is 3 *)
+  check_int "non-bipartite classes" 3 (List.length nb)
+
+let test_iter_matches_list () =
+  let count = ref 0 in
+  Enumerate.iter_graphs 3 (fun _ -> incr count);
+  check_int "iter count" 8 !count
+
+let suite =
+  [
+    case "raw counts" test_counts;
+    case "connected counts" test_connected;
+    case "iso class counts" test_up_to_iso;
+    case "iso classes pairwise distinct" test_up_to_iso_distinct;
+    case "bipartite split" test_bipartite_split;
+    case "iter matches list" test_iter_matches_list;
+  ]

@@ -1,0 +1,99 @@
+open Lcp_graph
+open Helpers
+
+(* re-verify an escape path against the definition directly *)
+let escape_valid g ~r ~u path =
+  List.length path = r + 1
+  && Walks.is_walk g path
+  &&
+  let targets = Metrics.ball g u r in
+  List.for_all
+    (fun w ->
+      let dw = Metrics.bfs_dist g w in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> dw.(b) > dw.(a) && increasing rest
+        | _ -> true
+      in
+      increasing path)
+    targets
+
+let test_escape_path_valid () =
+  let g = Builders.cycle 9 in
+  match Forgetful.escape_path g ~r:1 ~v:0 ~u:1 with
+  | Some p ->
+      check_bool "satisfies the definition" true (escape_valid g ~r:1 ~u:1 p);
+      check_bool "starts at v" true (List.hd p = 0)
+  | None -> Alcotest.fail "C9 is 1-forgetful"
+
+let test_escape_path_none () =
+  let g = Builders.path 4 in
+  (* arriving at the leaf 0 from 1: no escape *)
+  check_bool "leaf cannot escape" true (Forgetful.escape_path g ~r:1 ~v:0 ~u:1 = None)
+
+let test_escape_requires_edge () =
+  (try
+     ignore (Forgetful.escape_path (Builders.path 4) ~r:1 ~v:0 ~u:2);
+     Alcotest.fail "expected failure"
+   with Invalid_argument _ -> ())
+
+let test_check_witnesses () =
+  let g = Builders.theta 4 4 4 in
+  match Forgetful.check g ~r:1 with
+  | Forgetful.Forgetful ws ->
+      check_int "one witness per directed edge" (2 * Graph.size g) (List.length ws);
+      check_bool "all witnesses valid" true
+        (List.for_all
+           (fun { Forgetful.v; u; escape } ->
+             List.hd escape = v && escape_valid g ~r:1 ~u escape)
+           ws)
+  | Forgetful.Not_forgetful _ -> Alcotest.fail "theta(4,4,4) is 1-forgetful"
+
+let test_check_counterexample () =
+  match Forgetful.check (Builders.path 5) ~r:1 with
+  | Forgetful.Not_forgetful { v; u } ->
+      check_bool "counterexample is an edge" true
+        (Graph.mem_edge (Builders.path 5) v u)
+  | Forgetful.Forgetful _ -> Alcotest.fail "paths are not 1-forgetful"
+
+let test_family_facts () =
+  check_bool "C9" true (Forgetful.is_r_forgetful (Builders.cycle 9) ~r:1);
+  check_bool "C5 too small" false (Forgetful.is_r_forgetful (Builders.cycle 5) ~r:1);
+  check_bool "cycles never 2-forgetful" false
+    (Forgetful.is_r_forgetful (Builders.cycle 20) ~r:2);
+  check_bool "torus 7x7" true (Forgetful.is_r_forgetful (Builders.torus 7 7) ~r:1);
+  check_bool "K5" false (Forgetful.is_r_forgetful (Builders.complete 5) ~r:1);
+  check_bool "watermelon[6;6]" true
+    (Forgetful.is_r_forgetful (Builders.watermelon [ 6; 6 ]) ~r:1)
+
+let test_max_radius () =
+  check_int "cycle max radius" 1 (Forgetful.max_forgetful_radius (Builders.cycle 12));
+  check_int "path max radius" 0 (Forgetful.max_forgetful_radius (Builders.path 6));
+  check_int "clique max radius" 0 (Forgetful.max_forgetful_radius (Builders.complete 4))
+
+let test_lemma_2_1 () =
+  (* the implication holds on every surveyed graph and radius *)
+  List.iter
+    (fun g ->
+      List.iter
+        (fun r ->
+          check_bool "lemma 2.1" true (Forgetful.lemma_2_1_holds g ~r))
+        [ 1; 2; 3 ])
+    [ Builders.cycle 9; Builders.theta 4 4 4; Builders.grid 4 4;
+      Builders.complete 5; Builders.path 7; Builders.torus 7 7 ]
+
+let test_lemma_2_1_tight () =
+  (* C9 is 1-forgetful, so its diameter must be at least 3 *)
+  check_bool "diam C9 >= 3" true (Metrics.diameter (Builders.cycle 9) >= 3)
+
+let suite =
+  [
+    case "escape path satisfies definition" test_escape_path_valid;
+    case "leaf has no escape" test_escape_path_none;
+    case "escape requires adjacency" test_escape_requires_edge;
+    case "witnesses on theta" test_check_witnesses;
+    case "counterexample on paths" test_check_counterexample;
+    case "family facts" test_family_facts;
+    case "max forgetful radius" test_max_radius;
+    case "Lemma 2.1 implication" test_lemma_2_1;
+    case "Lemma 2.1 tightness on C9" test_lemma_2_1_tight;
+  ]

@@ -1,0 +1,67 @@
+open Lcp_graph
+open Lcp_local
+open Helpers
+
+let test_const_of_list () =
+  let g = Builders.path 3 in
+  Alcotest.(check (array string)) "const" [| "x"; "x"; "x" |] (Labeling.const g "x");
+  Alcotest.(check (array string)) "of_list" [| "a"; "b" |] (Labeling.of_list [ "a"; "b" ])
+
+let test_max_bits () =
+  check_int "bits" 24 (Labeling.max_bits [| "a"; "abc"; "" |]);
+  check_int "empty" 0 (Labeling.max_bits [| ""; "" |])
+
+let test_iter_all () =
+  let g = Builders.path 3 in
+  let count = ref 0 in
+  Labeling.iter_all ~alphabet:[ "0"; "1" ] g (fun _ -> incr count);
+  check_int "2^3" 8 !count;
+  check_int "count function" 8 (Labeling.count ~alphabet:[ "0"; "1" ] g)
+
+let test_iter_all_copies () =
+  let g = Builders.path 2 in
+  let seen = ref [] in
+  Labeling.iter_all ~alphabet:[ "a"; "b" ] g (fun lab ->
+      seen := Array.copy lab :: !seen);
+  check_int "4 labelings" 4 (List.length (List.sort_uniq Stdlib.compare !seen))
+
+let test_backtracking_prune () =
+  let g = Builders.path 3 in
+  (* prune any branch that assigns "1" to node 0 *)
+  let count = ref 0 in
+  Labeling.iter_backtracking ~alphabet:[ "0"; "1" ] g
+    ~prune:(fun v lab -> v = 0 && lab.(0) = "1")
+    (fun _ -> incr count);
+  check_int "half the space" 4 !count
+
+let test_exists_all () =
+  let g = Builders.path 2 in
+  check_bool "found" true
+    (Labeling.exists_all ~alphabet:[ "0"; "1" ] g (fun lab ->
+         lab.(0) = "1" && lab.(1) = "0"));
+  check_bool "not found" false
+    (Labeling.exists_all ~alphabet:[ "0" ] g (fun lab -> lab.(0) = "1"))
+
+let test_empty_alphabet () =
+  let g = Builders.path 2 in
+  let count = ref 0 in
+  Labeling.iter_all ~alphabet:[] g (fun _ -> incr count);
+  check_int "no labelings" 0 !count
+
+let test_random () =
+  let g = Builders.path 5 in
+  let lab = Labeling.random (rng ()) ~alphabet:[ "x"; "y" ] g in
+  check_int "length" 5 (Array.length lab);
+  check_bool "in alphabet" true (Array.for_all (fun s -> s = "x" || s = "y") lab)
+
+let suite =
+  [
+    case "const / of_list" test_const_of_list;
+    case "max_bits" test_max_bits;
+    case "iter_all count" test_iter_all;
+    case "iter_all yields distinct labelings" test_iter_all_copies;
+    case "backtracking prune" test_backtracking_prune;
+    case "exists_all" test_exists_all;
+    case "empty alphabet" test_empty_alphabet;
+    case "random" test_random;
+  ]

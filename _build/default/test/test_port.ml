@@ -1,0 +1,70 @@
+open Lcp_graph
+open Lcp_local
+open Helpers
+
+let test_canonical_valid () =
+  let g = Builders.grid 3 3 in
+  let p = Port.canonical g in
+  check_bool "valid" true (Port.is_valid g p)
+
+let test_random_valid () =
+  let g = Builders.petersen () in
+  let p = Port.random (rng ()) g in
+  check_bool "valid" true (Port.is_valid g p)
+
+let test_roundtrip () =
+  let g = Builders.star 3 in
+  let p = Port.canonical g in
+  for q = 1 to 3 do
+    let w = Port.neighbor_at p 0 q in
+    check_int "roundtrip" q (Port.port_of p 0 w)
+  done
+
+let test_port_of_missing () =
+  let g = Builders.path 3 in
+  let p = Port.canonical g in
+  (try
+     ignore (Port.port_of p 0 2);
+     Alcotest.fail "expected Not_found"
+   with Not_found -> ())
+
+let test_neighbor_at_range () =
+  let g = Builders.path 3 in
+  let p = Port.canonical g in
+  (try
+     ignore (Port.neighbor_at p 0 2);
+     Alcotest.fail "expected range failure"
+   with Invalid_argument _ -> ())
+
+let test_is_valid_rejects () =
+  let g = Builders.path 3 in
+  check_bool "wrong neighbor set" false (Port.is_valid g [| [| 2 |]; [| 0; 2 |]; [| 1 |] |]);
+  check_bool "wrong length" false (Port.is_valid g [| [| 1 |] |])
+
+let test_enumerate () =
+  let g = Builders.path 3 in
+  (* middle node has 2 orderings, leaves 1 each *)
+  check_int "count" 2 (List.length (Port.enumerate g));
+  check_int "count formula" 2 (Port.count g);
+  check_bool "all valid" true (List.for_all (Port.is_valid g) (Port.enumerate g));
+  let s = Builders.star 3 in
+  check_int "star count" 6 (Port.count s);
+  check_int "star enumerate" 6 (List.length (Port.enumerate s))
+
+let test_enumerate_distinct () =
+  let g = Builders.cycle 4 in
+  let all = Port.enumerate g in
+  check_int "2^4 assignments" 16 (List.length all);
+  check_int "distinct" 16 (List.length (List.sort_uniq Stdlib.compare all))
+
+let suite =
+  [
+    case "canonical valid" test_canonical_valid;
+    case "random valid" test_random_valid;
+    case "port/neighbor roundtrip" test_roundtrip;
+    case "port_of missing edge" test_port_of_missing;
+    case "neighbor_at out of range" test_neighbor_at_range;
+    case "is_valid rejects junk" test_is_valid_rejects;
+    case "enumerate counts" test_enumerate;
+    case "enumerate distinct" test_enumerate_distinct;
+  ]

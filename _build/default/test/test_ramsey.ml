@@ -1,0 +1,113 @@
+open Lcp_graph
+open Lcp_local
+open Lcp
+open Helpers
+
+let test_combinations () =
+  check_int "C(4,2)" 6 (List.length (Ramsey.combinations [ 1; 2; 3; 4 ] 2));
+  check_int "C(5,0)" 1 (List.length (Ramsey.combinations [ 1; 2; 3; 4; 5 ] 0));
+  check_int "C(3,4)" 0 (List.length (Ramsey.combinations [ 1; 2; 3 ] 4));
+  check_bool "sorted members" true
+    (List.for_all
+       (fun c -> c = List.sort Stdlib.compare c)
+       (Ramsey.combinations [ 1; 2; 3; 4; 5 ] 3))
+
+let test_monochromatic_subset () =
+  (* color pairs by sum parity: {1,3,5,7} is monochromatic *)
+  let color = function [ a; b ] -> (a + b) mod 2 | _ -> assert false in
+  (match
+     Ramsey.monochromatic_subset ~universe:[ 1; 2; 3; 4; 5; 6; 7 ] ~tuple_size:2
+       ~size:4 ~color
+   with
+  | Some ys ->
+      check_bool "monochromatic" true
+        (List.for_all (fun t -> color t = color (List.filteri (fun i _ -> i < 2) ys))
+           (Ramsey.combinations ys 2))
+  | None -> Alcotest.fail "same-parity quadruple exists");
+  (* rainbow coloring has no monochromatic pair set of size 3 *)
+  let tbl = Hashtbl.create 16 in
+  let next = ref 0 in
+  let rainbow t =
+    match Hashtbl.find_opt tbl t with
+    | Some c -> c
+    | None ->
+        incr next;
+        Hashtbl.replace tbl t !next;
+        !next
+  in
+  check_bool "rainbow has none" true
+    (Ramsey.monochromatic_subset ~universe:[ 1; 2; 3; 4 ] ~tuple_size:2 ~size:3
+       ~color:rainbow
+    = None)
+
+let test_arrows () =
+  check_bool "6 -> (3,3)" true (Ramsey.arrows ~n:6 ~s:3 ~t:3);
+  check_bool "5 -/-> (3,3)" false (Ramsey.arrows ~n:5 ~s:3 ~t:3);
+  check_bool "3 -> (3,2)" true (Ramsey.arrows ~n:3 ~s:3 ~t:2)
+
+let test_ramsey_number () =
+  check_int "R(3,3)" 6 (Ramsey.ramsey_number ~s:3 ~t:3);
+  check_int "R(2,4)" 4 (Ramsey.ramsey_number ~s:2 ~t:4)
+
+let quirky =
+  let trivial = D_trivial.decoder ~k:2 in
+  Decoder.make ~name:"quirky" ~radius:1 ~anonymous:false (fun view ->
+      View.center_id view mod 3 = 0 || trivial.Decoder.accepts view)
+
+let shapes () =
+  let p4 = Instance.make (Builders.path 4) in
+  let good = Instance.with_labels p4 [| "0"; "1"; "0"; "1" |] in
+  let bad = Instance.with_labels p4 [| "0"; "0"; "0"; "0" |] in
+  Array.to_list (View.extract_all good ~r:1) @ Array.to_list (View.extract_all bad ~r:1)
+
+let test_decoder_type () =
+  let shapes = shapes () in
+  let ty = Ramsey.decoder_type quirky ~shapes [ 1; 2; 4; 5 ] in
+  check_int "one bit per shape" (List.length shapes) (List.length ty);
+  (* a tuple containing a multiple of 3 in a center position changes
+     the type *)
+  let ty3 = Ramsey.decoder_type quirky ~shapes [ 3; 6; 9; 12 ] in
+  check_bool "quirk visible" true (ty <> ty3)
+
+let test_type_color_memo () =
+  let shapes = shapes () in
+  let color, count = Ramsey.type_color quirky ~shapes in
+  let c1 = color [ 1; 2; 4; 5 ] in
+  check_int "memoized" c1 (color [ 1; 2; 4; 5 ]);
+  ignore (color [ 3; 6; 9; 12 ]);
+  check_bool "at least two types" true (count () >= 2)
+
+let test_monochromatic_ids_and_reduction () =
+  let shapes = shapes () in
+  match
+    Ramsey.monochromatic_ids quirky ~shapes
+      ~universe:(List.init 10 (fun i -> i + 1))
+      ~size:5
+  with
+  | None -> Alcotest.fail "monochromatic set exists (avoid multiples of 3)"
+  | Some mono ->
+      let d' = Ramsey.order_invariant_decoder quirky ~mono in
+      let p4 = Instance.make (Builders.path 4) in
+      let good = Instance.with_labels p4 [| "0"; "1"; "0"; "1" |] in
+      check_bool "order-invariant" true
+        (Checker.is_pass (Checker.order_invariance d' ~trials:15 (rng ()) [ good ]));
+      (* on the monochromatic set the quirk is gone: D' behaves like the
+         plain trivial verifier *)
+      let trivial = D_trivial.decoder ~k:2 in
+      let bad = Instance.with_labels p4 [| "0"; "0"; "1"; "0" |] in
+      List.iter
+        (fun i ->
+          Alcotest.(check (array bool))
+            "agrees with trivial" (Decoder.run trivial i) (Decoder.run d' i))
+        [ good; bad ]
+
+let suite =
+  [
+    case "combinations" test_combinations;
+    case "monochromatic subsets" test_monochromatic_subset;
+    case "arrows" test_arrows;
+    case "ramsey numbers" test_ramsey_number;
+    case "decoder types" test_decoder_type;
+    case "type coloring memoized" test_type_color_memo;
+    case "monochromatic ids and the induced decoder" test_monochromatic_ids_and_reduction;
+  ]

@@ -1,0 +1,43 @@
+open Lcp
+open Helpers
+
+let sample =
+  {
+    Report.id = "EX";
+    title = "sample";
+    rows =
+      [
+        Report.row "plain" "value";
+        Report.check "good" true ~expected:"yes" ~actual:"yes";
+        Report.check "bad" false ~expected:"yes" ~actual:"no";
+      ];
+  }
+
+let test_passed () =
+  check_bool "fails with a bad row" false (Report.passed sample);
+  let ok = { sample with Report.rows = [ Report.row "a" "b" ] } in
+  check_bool "passes" true (Report.passed ok)
+
+let test_pp () =
+  let s = Format.asprintf "%a" Report.pp sample in
+  check_bool "mentions FAIL" true
+    (Test_graph.contains ~needle:"FAIL" s);
+  check_bool "mentions MISMATCH" true (Test_graph.contains ~needle:"MISMATCH" s)
+
+let test_markdown () =
+  let md = Report.to_markdown sample in
+  check_bool "has table header" true
+    (Test_graph.contains ~needle:"| check | measured |" md);
+  check_bool "flags mismatch" true (Test_graph.contains ~needle:"**mismatch**" md)
+
+let test_summary () =
+  check_bool "summary line" true
+    (Test_graph.contains ~needle:"EX" (Report.summary_line sample))
+
+let suite =
+  [
+    case "passed" test_passed;
+    case "pretty printing" test_pp;
+    case "markdown" test_markdown;
+    case "summary line" test_summary;
+  ]

@@ -1,0 +1,118 @@
+open Lcp_graph
+open Lcp_local
+open Lcp
+open Helpers
+
+let res = Resilient.wrap (D_trivial.suite ~k:2)
+
+let certified g = Option.get (Decoder.certify res (Instance.make g))
+
+let test_no_erasure () =
+  List.iter
+    (fun g ->
+      check_bool "accepted" true (Decoder.accepts_all res.Decoder.dec (certified g)))
+    [ Builders.path 5; Builders.cycle 6; Builders.star 3; Builders.grid 2 3 ]
+
+let test_every_single_erasure () =
+  let g = Builders.cycle 6 in
+  let inst = certified g in
+  List.iter
+    (fun v ->
+      check_bool
+        (Printf.sprintf "erasure at %d survived" v)
+        true
+        (Decoder.accepts_all res.Decoder.dec (Resilient.erase inst ~nodes:[ v ])))
+    (Graph.nodes g)
+
+let test_independent_erasures () =
+  let g = Builders.cycle 8 in
+  let inst = certified g in
+  let erased = [ 0; 2; 4; 6 ] in
+  check_bool "reconstructible" true (Resilient.reconstructible g ~erased);
+  check_bool "accepted" true
+    (Decoder.accepts_all res.Decoder.dec (Resilient.erase inst ~nodes:erased))
+
+let test_adjacent_erasures_still_ok_on_cycle () =
+  (* two adjacent erased nodes on a cycle: each keeps its other
+     neighbor, so reconstruction still succeeds *)
+  let g = Builders.cycle 6 in
+  let inst = certified g in
+  check_bool "adjacent pair survives" true
+    (Decoder.accepts_all res.Decoder.dec (Resilient.erase inst ~nodes:[ 0; 1 ]))
+
+let test_isolated_component_fails () =
+  (* erase both nodes of a K2 component: nothing can reconstruct them *)
+  let g = Graph.disjoint_union (Builders.path 2) (Builders.path 3) in
+  let inst = certified g in
+  let erased = [ 0; 1 ] in
+  check_bool "not reconstructible" false (Resilient.reconstructible g ~erased);
+  check_bool "rejected" false
+    (Decoder.accepts_all res.Decoder.dec (Resilient.erase inst ~nodes:erased))
+
+let test_disagreeing_backups_rejected () =
+  let g = Builders.path 3 in
+  let inst = certified g in
+  (* node 1 is erased; its two neighbors disagree about its cert *)
+  let lab = Array.copy inst.Instance.labels in
+  let rewrite_backup s value =
+    match String.split_on_char '|' s with
+    | own :: entries ->
+        let entries =
+          List.map
+            (fun e ->
+              if String.length e > 1 && e.[0] = 'p' then
+                let i = String.index e '=' in
+                String.sub e 0 (i + 1) ^ value
+              else e)
+            entries
+        in
+        String.concat "|" (own :: entries)
+    | [] -> s
+  in
+  lab.(0) <- rewrite_backup lab.(0) "0";
+  lab.(2) <- rewrite_backup lab.(2) "1";
+  let tampered = Resilient.erase (Instance.with_labels inst lab) ~nodes:[ 1 ] in
+  check_bool "conflicting copies rejected" false
+    (Decoder.accepts_all res.Decoder.dec tampered)
+
+let test_lying_backup_rejected () =
+  (* backups about a non-erased node must match its certificate *)
+  let g = Builders.path 2 in
+  let inst = certified g in
+  let lab = Array.copy inst.Instance.labels in
+  lab.(0) <-
+    (match String.split_on_char '|' lab.(0) with
+    | own :: _ -> own ^ "|p1=liar"
+    | [] -> assert false);
+  check_bool "lie detected" false
+    (Decoder.accepts_all res.Decoder.dec (Instance.with_labels inst lab))
+
+let test_wrap_preserves_soundness_shape () =
+  (* erasing everything is never unanimously accepted on a non-trivial
+     graph (no information left to verify a coloring) *)
+  let g = Builders.cycle 4 in
+  let inst = certified g in
+  check_bool "total erasure rejected" false
+    (Decoder.accepts_all res.Decoder.dec
+       (Resilient.erase inst ~nodes:(Graph.nodes g)))
+
+let test_wrap_other_base () =
+  (* wrapping the degree-one decoder also works *)
+  let res1 = Resilient.wrap D_degree_one.suite in
+  let inst = Option.get (Decoder.certify res1 (Instance.make (Builders.path 5))) in
+  check_bool "base accepted" true (Decoder.accepts_all res1.Decoder.dec inst);
+  check_bool "erasure survived" true
+    (Decoder.accepts_all res1.Decoder.dec (Resilient.erase inst ~nodes:[ 2 ]))
+
+let suite =
+  [
+    case "no erasure" test_no_erasure;
+    case "every single erasure" test_every_single_erasure;
+    case "independent erasures" test_independent_erasures;
+    case "adjacent erasures on a cycle" test_adjacent_erasures_still_ok_on_cycle;
+    case "isolated component fails" test_isolated_component_fails;
+    case "disagreeing backups rejected" test_disagreeing_backups_rejected;
+    case "lying backup rejected" test_lying_backup_rejected;
+    case "total erasure rejected" test_wrap_preserves_soundness_shape;
+    case "wrapping other decoders" test_wrap_other_base;
+  ]

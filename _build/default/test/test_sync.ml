@@ -1,0 +1,55 @@
+open Lcp_graph
+open Lcp_local
+open Helpers
+
+let test_round_zero () =
+  let i = Instance.make (Builders.path 3) ~labels:[| "a"; "b"; "c" |] in
+  let k = Sync_runner.run i ~rounds:0 in
+  check_int "only own fact" 1 (List.length k.(0).Sync_runner.node_facts);
+  check_int "no edge facts" 0 (List.length k.(0).Sync_runner.edge_facts)
+
+let test_one_round () =
+  let i = Instance.make (Builders.path 3) in
+  let k = Sync_runner.run i ~rounds:1 in
+  (* middle node learns both neighbors and both incident edges *)
+  check_int "middle node facts" 3 (List.length k.(1).Sync_runner.node_facts);
+  check_int "middle edge facts" 2 (List.length k.(1).Sync_runner.edge_facts);
+  check_int "leaf node facts" 2 (List.length k.(0).Sync_runner.node_facts);
+  check_int "leaf edge facts" 1 (List.length k.(0).Sync_runner.edge_facts)
+
+let test_saturation () =
+  let i = Instance.make (Builders.cycle 5) in
+  let k = Sync_runner.run i ~rounds:10 in
+  check_int "knows all nodes" 5 (List.length k.(0).Sync_runner.node_facts);
+  check_int "knows all edges" 5 (List.length k.(0).Sync_runner.edge_facts)
+
+let test_matches_views_deterministic () =
+  List.iter
+    (fun g ->
+      let i = Instance.make g in
+      List.iter
+        (fun r ->
+          check_bool "matches" true (Sync_runner.knowledge_matches_view i ~r))
+        [ 1; 2; 3 ])
+    [ Builders.path 6; Builders.cycle 7; Builders.star 4; Builders.grid 3 3;
+      Builders.theta 2 2 3 ]
+
+let test_matches_views_random_ports () =
+  let r = rng () in
+  let g = Builders.petersen () in
+  let i = Instance.random r g in
+  check_bool "random instance matches r=2" true
+    (Sync_runner.knowledge_matches_view i ~r:2)
+
+let test_messages () =
+  check_int "2|E|r" 30 (Sync_runner.messages_sent (Builders.cycle 5) ~rounds:3)
+
+let suite =
+  [
+    case "round zero" test_round_zero;
+    case "one round" test_one_round;
+    case "saturation" test_saturation;
+    case "knowledge = views (fixed graphs)" test_matches_views_deterministic;
+    case "knowledge = views (random ports/ids)" test_matches_views_random_ports;
+    case "message count" test_messages;
+  ]
