@@ -305,6 +305,67 @@ let series_scaling () =
         ok)
     [ 100; 1000; 10000; 50000 ]
 
+let series_engine_dedup ~fast () =
+  Printf.printf
+    "\n== series: iso-class enumeration, engine canonical dedup vs pairwise \
+     Enumerate (tentpole)\n";
+  Printf.printf "%6s %10s %12s %14s %14s\n" "n" "classes" "engine(s)"
+    "enumerate(s)" "speedup";
+  List.iter
+    (fun n ->
+      Lcp_engine.Sweep.clear_cache ();
+      let engine_classes, engine_s =
+        time (fun () -> Lcp_engine.Sweep.iso_classes ~jobs:1 n)
+      in
+      (* the pairwise path is O(classes * labeled graphs) brute-force
+         isomorphism; past n=6 it stops being measurable in a bench *)
+      if n <= 6 then begin
+        let old_classes, old_s =
+          time (fun () -> Enumerate.connected_up_to_iso n)
+        in
+        assert (List.length engine_classes = List.length old_classes);
+        Printf.printf "%6d %10d %12.3f %14.3f %13.1fx\n" n
+          (List.length engine_classes) engine_s old_s
+          (old_s /. Float.max engine_s 1e-9)
+      end
+      else
+        Printf.printf "%6d %10d %12.3f %14s %14s\n" n
+          (List.length engine_classes) engine_s "(skipped)" "-")
+    (if fast then [ 4; 5; 6 ] else [ 4; 5; 6; 7 ]);
+  let again, cached_s = time (fun () -> Lcp_engine.Sweep.iso_classes ~jobs:1 6) in
+  let hits, misses = Lcp_engine.Sweep.cache_stats () in
+  Printf.printf
+    "   cross-sweep cache: re-listing n=6 takes %.6fs (%d classes; %d hits / \
+     %d misses)\n"
+    cached_s (List.length again) hits misses
+
+let series_engine_sweep ~fast () =
+  Printf.printf
+    "\n== series: engine soundness sweep, degree-one decoder, jobs=1 vs \
+     jobs=%d (E3)\n"
+    (Lcp_engine.Pool.default_jobs ());
+  Printf.printf "%6s %8s %12s %12s %10s %10s\n" "n" "kept" "seq(s)" "par(s)"
+    "speedup" "identical";
+  List.iter
+    (fun n ->
+      let sweep ~jobs =
+        Lcp_engine.Sweep.clear_cache ();
+        Checker.soundness_sweep ~jobs D_degree_one.suite ~n
+      in
+      let seq = sweep ~jobs:1 in
+      let par = sweep ~jobs:(Lcp_engine.Pool.default_jobs ()) in
+      let identical =
+        Checker.verdict_of_sweep seq = Checker.verdict_of_sweep par
+        && seq.Lcp_engine.Sweep.counters = par.Lcp_engine.Sweep.counters
+      in
+      assert identical;
+      Printf.printf "%6d %8d %12.3f %12.3f %9.2fx %10b\n" n
+        seq.Lcp_engine.Sweep.counters.Lcp_engine.Sweep.kept
+        seq.Lcp_engine.Sweep.wall_s par.Lcp_engine.Sweep.wall_s
+        (seq.Lcp_engine.Sweep.wall_s /. Float.max par.Lcp_engine.Sweep.wall_s 1e-9)
+        identical)
+    (if fast then [ 4; 5 ] else [ 4; 5; 6 ])
+
 let series_sync () =
   Printf.printf
     "\n== series: flooding vs View.extract, random connected graphs (E13)\n";
@@ -330,5 +391,7 @@ let () =
   series_cert_sizes ();
   series_strong_checks ();
   series_scaling ();
+  series_engine_dedup ~fast ();
+  series_engine_sweep ~fast ();
   series_sync ();
   Printf.printf "\nbench done.\n"

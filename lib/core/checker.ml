@@ -11,16 +11,30 @@ let pp_verdict ppf = function
   | Fail { detail; instance } ->
       Format.fprintf ppf "FAIL: %s@ on %a" detail Instance.pp instance
 
-(* Fold with early exit on failure, counting checks. *)
-let fold_verdict instances f =
-  let rec go checked = function
-    | [] -> Pass { checked }
-    | inst :: rest -> (
-        match f inst with
-        | Ok more -> go (checked + more) rest
-        | Error failure -> Fail failure)
-  in
-  go 0 instances
+(* Fold with early exit on failure, counting checks. With [jobs > 1]
+   the instances are checked on the engine's domain pool; the verdict
+   is the first failure in instance order, so a Pass/Fail outcome and
+   its witness are identical to the sequential fold. *)
+let fold_verdict ?(jobs = 1) instances f =
+  if jobs <= 1 then
+    let rec go checked = function
+      | [] -> Pass { checked }
+      | inst :: rest -> (
+          match f inst with
+          | Ok more -> go (checked + more) rest
+          | Error failure -> Fail failure)
+    in
+    go 0 instances
+  else
+    let results = Lcp_engine.Pool.map ~jobs f (Array.of_list instances) in
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | Fail _, _ -> acc
+        | Pass { checked }, Ok more -> Pass { checked = checked + more }
+        | Pass _, Error failure -> Fail failure)
+      (Pass { checked = 0 })
+      results
 
 let completeness (suite : Decoder.suite) instances =
   fold_verdict instances (fun inst ->
@@ -47,8 +61,8 @@ let completeness (suite : Decoder.suite) instances =
                          (List.map string_of_int (List.rev !rejecting)));
                 })
 
-let soundness_exhaustive (suite : Decoder.suite) instances =
-  fold_verdict instances (fun inst ->
+let soundness_exhaustive ?jobs (suite : Decoder.suite) instances =
+  fold_verdict ?jobs instances (fun inst ->
       if Coloring.is_bipartite inst.Instance.graph then Ok 0
       else
         let alphabet = suite.Decoder.adversary_alphabet inst in
@@ -73,8 +87,8 @@ let check_strong (suite : Decoder.suite) ~k inst lab =
           Printf.sprintf "accepting nodes induce a non-%d-colorable subgraph" k;
       }
 
-let strong_soundness_exhaustive (suite : Decoder.suite) ~k instances =
-  fold_verdict instances (fun inst ->
+let strong_soundness_exhaustive ?jobs (suite : Decoder.suite) ~k instances =
+  fold_verdict ?jobs instances (fun inst ->
       let alphabet = suite.Decoder.adversary_alphabet inst in
       let checked = ref 0 in
       let exception Failed of failure in
@@ -127,6 +141,35 @@ let invariance_check ~checker dec ~trials rng instances =
             instance = inst;
             detail = "decoder output changed under re-identification";
           })
+
+(* ------------------------------------------------------------------ *)
+(* engine sweeps: soundness over the whole n-node graph space          *)
+
+let soundness_sweep ?jobs ?(early_exit = false) (suite : Decoder.suite) ~n =
+  let mode =
+    if early_exit then Lcp_engine.Sweep.Search_counterexample
+    else Lcp_engine.Sweep.Exhaustive
+  in
+  Lcp_engine.Sweep.run ?jobs ~mode ~n
+    ~keep:(fun g -> not (Coloring.is_bipartite g))
+    ~check:(fun g ->
+      let inst = Instance.make g in
+      let alphabet = suite.Decoder.adversary_alphabet inst in
+      match Prover.find_accepted suite.Decoder.dec ~alphabet inst with
+      | None -> None
+      | Some lab -> Some (Instance.with_labels inst lab))
+    ()
+
+let verdict_of_sweep (s : Instance.t Lcp_engine.Sweep.summary) =
+  match s.Lcp_engine.Sweep.counterexample with
+  | None ->
+      Pass { checked = s.Lcp_engine.Sweep.counters.Lcp_engine.Sweep.checked }
+  | Some (_, inst) ->
+      Fail
+        {
+          instance = inst;
+          detail = "non-bipartite instance unanimously accepted";
+        }
 
 let anonymity dec ~trials rng instances =
   invariance_check ~checker:Local_algo.is_anonymous_on dec ~trials rng instances

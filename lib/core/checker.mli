@@ -21,17 +21,37 @@ val completeness : Decoder.suite -> Instance.t list -> verdict
     every node; instances outside the class are skipped. *)
 
 val soundness_exhaustive :
-  Decoder.suite -> Instance.t list -> verdict
+  ?jobs:int -> Decoder.suite -> Instance.t list -> verdict
 (** For every instance whose graph is {e not} 2-colorable, no labeling
-    over the adversary alphabet may be unanimously accepted. *)
+    over the adversary alphabet may be unanimously accepted. [jobs > 1]
+    checks the instances on the {!Lcp_engine.Pool} domain pool; the
+    verdict and its witness are independent of [jobs]. *)
 
 val strong_soundness_exhaustive :
-  Decoder.suite -> k:int -> Instance.t list -> verdict
+  ?jobs:int -> Decoder.suite -> k:int -> Instance.t list -> verdict
 (** Strong (promise) soundness, literally: over {e all} labelings of
     {e each} given instance, the accepting-node-induced subgraph must be
     k-colorable. Cost is |alphabet|^n per instance (with acceptance
     pruning not applicable — every labeling must be inspected), so keep
-    instances small. *)
+    instances small. [jobs] parallelizes over instances as in
+    {!soundness_exhaustive}. *)
+
+val soundness_sweep :
+  ?jobs:int ->
+  ?early_exit:bool ->
+  Decoder.suite ->
+  n:int ->
+  Instance.t Lcp_engine.Sweep.summary
+(** Soundness over the {e whole} [n]-node space: every connected
+    non-bipartite graph on exactly [n] nodes, one representative per
+    isomorphism class (enumerated, deduplicated and cached by
+    {!Lcp_engine.Sweep}), must admit no unanimously accepted labeling.
+    A counterexample carries the accepted instance. [early_exit]
+    cancels remaining classes once a violation is found (the returned
+    counterexample is still the minimal one). *)
+
+val verdict_of_sweep : Instance.t Lcp_engine.Sweep.summary -> verdict
+(** Collapse a {!soundness_sweep} summary into a {!verdict}. *)
 
 val strong_soundness_random :
   Decoder.suite ->

@@ -121,18 +121,25 @@ let e2_views () =
 (* ------------------------------------------------------------------ *)
 (* E3: degree-one decoder (Lemma 4.1, Figs. 3-4)                        *)
 
-let min_degree_one_family ~max_n =
+(* Iso-class listings come from the engine: canonical-form dedup plus
+   the cross-sweep cache, so the many experiments that re-enumerate the
+   same orders share one enumeration per process. The representatives
+   (smallest edge mask per class) coincide with the ones the historical
+   [Enumerate.connected_up_to_iso] picked. *)
+let classes ?jobs n = Lcp_engine.Sweep.iso_classes ?jobs n
+
+let min_degree_one_family ?jobs ~max_n () =
   let graphs = ref [] in
   for n = 2 to max_n do
-    graphs := Enumerate.connected_up_to_iso n @ !graphs
+    graphs := classes ?jobs n @ !graphs
   done;
   List.filter (fun g -> Graph.min_degree g = 1) !graphs
 
-let e3_degree_one ?(heavy = true) () =
+let e3_degree_one ?(heavy = true) ?jobs () =
   let suite = D_degree_one.suite in
   let rng = seed () in
   let yes_family =
-    min_degree_one_family ~max_n:(if heavy then 6 else 5)
+    min_degree_one_family ?jobs ~max_n:(if heavy then 6 else 5) ()
     |> Enumerate.bipartite
     |> List.map Instance.make
   in
@@ -142,21 +149,23 @@ let e3_degree_one ?(heavy = true) () =
       ~expect_pass:true
       (Checker.completeness suite yes_family)
   in
-  let no_family =
-    Enumerate.connected_up_to_iso 5
-    |> Enumerate.non_bipartite
-    |> List.map Instance.make
-  in
   let soundness =
+    (* the whole non-bipartite space on exactly n nodes, via the
+       engine: n = 6 under [heavy] widens the regime the seed code
+       (n = 5 list pipeline) could reach *)
+    let sweep =
+      Checker.soundness_sweep ?jobs suite ~n:(if heavy then 6 else 5)
+    in
     verdict_row
-      (Printf.sprintf "soundness (%d no-instances, exhaustive)" (List.length no_family))
+      (Printf.sprintf "soundness (n=%d, engine sweep over %d no-classes)"
+         sweep.Lcp_engine.Sweep.n
+         sweep.Lcp_engine.Sweep.counters.Lcp_engine.Sweep.kept)
       ~expect_pass:true
-      (Checker.soundness_exhaustive suite no_family)
+      (Checker.verdict_of_sweep sweep)
   in
   let strong_family =
-    (if heavy then
-       List.concat_map Enumerate.connected_up_to_iso [ 2; 3; 4; 5 ]
-     else List.concat_map Enumerate.connected_up_to_iso [ 2; 3; 4 ])
+    (if heavy then List.concat_map (classes ?jobs) [ 2; 3; 4; 5 ]
+     else List.concat_map (classes ?jobs) [ 2; 3; 4 ])
     |> List.map Instance.make
   in
   let strong =
@@ -164,7 +173,7 @@ let e3_degree_one ?(heavy = true) () =
       (Printf.sprintf "strong soundness (all labelings, %d graphs)"
          (List.length strong_family))
       ~expect_pass:true
-      (Checker.strong_soundness_exhaustive suite ~k:2 strong_family)
+      (Checker.strong_soundness_exhaustive ?jobs suite ~k:2 strong_family)
   in
   let anonymity =
     verdict_row "anonymity" ~expect_pass:true
@@ -174,7 +183,7 @@ let e3_degree_one ?(heavy = true) () =
   (* hiding: the full V(D, 4) over the min-degree-1 class *)
   let fam4 =
     Neighborhood.exhaustive_family suite
-      ~graphs:(min_degree_one_family ~max_n:4)
+      ~graphs:(min_degree_one_family ~max_n:4 ())
       ~ports:`All ()
   in
   let hiding_verdict = Hiding.check ~k:2 suite.Decoder.dec fam4 in
@@ -196,7 +205,7 @@ let e3_degree_one ?(heavy = true) () =
 (* ------------------------------------------------------------------ *)
 (* E4: even-cycle decoder (Lemma 4.2, Figs. 5-6)                        *)
 
-let e4_even_cycle ?(heavy = true) () =
+let e4_even_cycle ?(heavy = true) ?jobs () =
   let suite = D_even_cycle.suite in
   let rng = seed () in
   let yes_family =
@@ -212,7 +221,7 @@ let e4_even_cycle ?(heavy = true) () =
   in
   let soundness =
     verdict_row "soundness (odd cycles, exhaustive)" ~expect_pass:true
-      (Checker.soundness_exhaustive suite no_family)
+      (Checker.soundness_exhaustive ?jobs suite no_family)
   in
   let strong_family =
     List.map Instance.make
@@ -221,7 +230,7 @@ let e4_even_cycle ?(heavy = true) () =
   in
   let strong =
     verdict_row "strong soundness (all labelings)" ~expect_pass:true
-      (Checker.strong_soundness_exhaustive suite ~k:2 strong_family)
+      (Checker.strong_soundness_exhaustive ?jobs suite ~k:2 strong_family)
   in
   let anonymity =
     verdict_row "anonymity" ~expect_pass:true
@@ -229,7 +238,8 @@ let e4_even_cycle ?(heavy = true) () =
          (List.filter_map (Decoder.certify suite) yes_family))
   in
   let fam =
-    Neighborhood.exhaustive_family suite ~graphs:[ Builders.cycle 6 ] ~ports:`All ()
+    Neighborhood.exhaustive_family suite ~graphs:[ Builders.cycle 6 ] ~ports:`All
+      ?jobs ()
   in
   let nbhd = Neighborhood.build suite.Decoder.dec fam in
   let hiding =
@@ -318,7 +328,7 @@ let e5_union () =
   in
   let hiding_family =
     Neighborhood.exhaustive_family D_union.suite
-      ~graphs:(min_degree_one_family ~max_n:4) ~ports:`All ()
+      ~graphs:(min_degree_one_family ~max_n:4 ()) ~ports:`All ()
   in
   let hiding =
     match Hiding.check ~k:2 suite.Decoder.dec hiding_family with
@@ -345,7 +355,7 @@ let spider legs len =
   done;
   !g
 
-let e6_shatter ?(heavy = true) () =
+let e6_shatter ?(heavy = true) ?jobs () =
   let suite = D_shatter.suite in
   let rng = seed () in
   let yes_family =
@@ -379,12 +389,12 @@ let e6_shatter ?(heavy = true) () =
   let strong_exh =
     if heavy then
       verdict_row "strong soundness (all labelings, n=4 graphs)" ~expect_pass:true
-        (Checker.strong_soundness_exhaustive suite ~k:2
+        (Checker.strong_soundness_exhaustive ?jobs suite ~k:2
            (List.map Instance.make
               [ Builders.star 3; Builders.path 4; Builders.cycle 4; Builders.cycle 3 ]))
     else
       verdict_row "strong soundness (all labelings, n=3)" ~expect_pass:true
-        (Checker.strong_soundness_exhaustive suite ~k:2
+        (Checker.strong_soundness_exhaustive ?jobs suite ~k:2
            (List.map Instance.make [ Builders.cycle 3; Builders.path 3 ]))
   in
   let strong_rand =
@@ -475,7 +485,7 @@ let watermelon_path_instance ~ids ~flip =
   in
   Instance.with_labels inst lab
 
-let e7_watermelon ?(heavy = true) () =
+let e7_watermelon ?(heavy = true) ?jobs () =
   let suite = D_watermelon.suite in
   let rng = seed () in
   let yes_family =
@@ -495,12 +505,12 @@ let e7_watermelon ?(heavy = true) () =
   let strong_exh =
     if heavy then
       verdict_row "strong soundness (all labelings, C4/C3/P4)" ~expect_pass:true
-        (Checker.strong_soundness_exhaustive suite ~k:2
+        (Checker.strong_soundness_exhaustive ?jobs suite ~k:2
            (List.map Instance.make
               [ Builders.watermelon [ 2; 2 ]; Builders.cycle 3; Builders.path 4 ]))
     else
       verdict_row "strong soundness (all labelings, C3)" ~expect_pass:true
-        (Checker.strong_soundness_exhaustive suite ~k:2
+        (Checker.strong_soundness_exhaustive ?jobs suite ~k:2
            [ Instance.make (Builders.cycle 3) ])
   in
   let strong_rand =
@@ -520,18 +530,28 @@ let e7_watermelon ?(heavy = true) () =
     if heavy then all else List.filteri (fun i _ -> i mod 4 = 0) all
   in
   let family =
-    List.concat_map
-      (fun ids ->
-        List.concat_map
-          (fun prt ->
-            let base = Instance.make g8 ~ports:prt ~ids in
-            let alphabet = suite.Decoder.adversary_alphabet base in
-            let acc = ref [] in
-            Prover.iter_accepted suite.Decoder.dec ~alphabet base (fun lab ->
-                acc := Instance.with_labels base lab :: !acc);
-            !acc)
-          port_choices)
-      [ id_straight; id_swapped ]
+    (* one work unit per (ids, ports) choice, expanded on the engine
+       pool when [jobs > 1]; concatenation in choice order keeps the
+       family identical for every [jobs] (each unit preserves the
+       historical un-reversed accumulator order). *)
+    let units =
+      List.concat_map
+        (fun ids -> List.map (fun prt -> (ids, prt)) port_choices)
+        [ id_straight; id_swapped ]
+    in
+    let expand (ids, prt) =
+      let base = Instance.make g8 ~ports:prt ~ids in
+      let alphabet = suite.Decoder.adversary_alphabet base in
+      let acc = ref [] in
+      Prover.iter_accepted suite.Decoder.dec ~alphabet base (fun lab ->
+          acc := Instance.with_labels base lab :: !acc);
+      !acc
+    in
+    match jobs with
+    | None | Some 1 -> List.concat_map expand units
+    | Some jobs ->
+        List.concat
+          (Array.to_list (Lcp_engine.Pool.map ~jobs expand (Array.of_list units)))
   in
   let hand_picked =
     List.map
@@ -633,7 +653,7 @@ let e8_extraction () =
     let d1_hiding =
       Hiding.is_hiding_on ~k:2 D_degree_one.decoder
         (Neighborhood.exhaustive_family D_degree_one.suite
-           ~graphs:(min_degree_one_family ~max_n:4) ~ports:`All ())
+           ~graphs:(min_degree_one_family ~max_n:4 ()) ~ports:`All ())
     in
     Report.check "contrast: degree-one decoder stays hiding" d1_hiding
       ~expected:"hiding" ~actual:(string_of_bool d1_hiding)
@@ -720,7 +740,7 @@ let e9_realizability () =
         let suite = D_degree_one.suite in
         let fam =
           Neighborhood.exhaustive_family suite
-            ~graphs:(min_degree_one_family ~max_n:4) ()
+            ~graphs:(min_degree_one_family ~max_n:4 ()) ()
         in
         let nb = Neighborhood.build ~mode:Neighborhood.Identified suite.Decoder.dec fam in
         match Neighborhood.odd_cycle nb with
@@ -1186,7 +1206,7 @@ let e15_quantified () =
      extraction succeeds on all but a vanishing share of nodes *)
   let d1_fam =
     Neighborhood.exhaustive_family D_degree_one.suite
-      ~graphs:(min_degree_one_family ~max_n:4)
+      ~graphs:(min_degree_one_family ~max_n:4 ())
       ()
   in
   let d1_nbhd = Neighborhood.build D_degree_one.decoder d1_fam in
@@ -1225,7 +1245,7 @@ let e16_hidden_leaf () =
   let rows_for ~k =
     let suite = D_hidden_leaf.suite ~k in
     let yes_family =
-      min_degree_one_family ~max_n:5
+      min_degree_one_family ~max_n:5 ()
       |> List.filter (fun g -> Coloring.is_k_colorable g ~k)
       |> List.map Instance.make
     in
@@ -1284,7 +1304,7 @@ let e16_hidden_leaf () =
        (the constructive general-k direction of Lemma 3.2). *)
     let fam =
       Neighborhood.exhaustive_family suite
-        ~graphs:(min_degree_one_family ~max_n:4
+        ~graphs:(min_degree_one_family ~max_n:4 ()
                  |> List.filter (fun g -> Coloring.is_k_colorable g ~k))
         ()
     in
@@ -1540,7 +1560,7 @@ let e19_extractor_radius () =
   in
   let d1_fam =
     Neighborhood.exhaustive_family D_degree_one.suite
-      ~graphs:(min_degree_one_family ~max_n:4)
+      ~graphs:(min_degree_one_family ~max_n:4 ())
       ()
   in
   let d1_hiding =
@@ -1676,15 +1696,15 @@ let e20_edge_bit ?(heavy = true) () =
     title = "round/size trade-off: a 1-bit 2-round strong and hiding LCP on rings";
     rows = [ completeness; soundness_all_ports; strong; anonymity; hiding; size_row ] }
 
-let run_all ?(heavy = true) () =
+let run_all ?(heavy = true) ?jobs () =
   [
     e1_forgetful ();
     e2_views ();
-    e3_degree_one ~heavy ();
-    e4_even_cycle ~heavy ();
+    e3_degree_one ~heavy ?jobs ();
+    e4_even_cycle ~heavy ?jobs ();
     e5_union ();
-    e6_shatter ~heavy ();
-    e7_watermelon ~heavy ();
+    e6_shatter ~heavy ?jobs ();
+    e7_watermelon ~heavy ?jobs ();
     e8_extraction ();
     e9_realizability ();
     e10_lower_bound ();

@@ -15,21 +15,28 @@ val e2_views : unit -> Report.t
 (** Fig. 2: view extraction and visibility of fringe edges;
     yes-instance compatibility. *)
 
-val e3_degree_one : ?heavy:bool -> unit -> Report.t
-(** Lemma 4.1 + Figs. 3–4: the degree-one decoder battery. *)
+val e3_degree_one : ?heavy:bool -> ?jobs:int -> unit -> Report.t
+(** Lemma 4.1 + Figs. 3–4: the degree-one decoder battery. The
+    soundness row sweeps {e every} connected non-bipartite
+    isomorphism class on 6 nodes (5 when [heavy] is off) through
+    {!Lcp_engine.Sweep}; [jobs] sets the domain-pool width for the
+    sweep and the exhaustive rows. *)
 
-val e4_even_cycle : ?heavy:bool -> unit -> Report.t
+val e4_even_cycle : ?heavy:bool -> ?jobs:int -> unit -> Report.t
 (** Lemma 4.2 + Figs. 5–6: the even-cycle decoder battery, including
-    the hidden-everywhere property. *)
+    the hidden-everywhere property. [jobs] parallelizes the exhaustive
+    rows and the neighborhood-family expansion. *)
 
 val e5_union : unit -> Report.t
 (** Theorem 1.1: the assembled anonymous union decoder. *)
 
-val e6_shatter : ?heavy:bool -> unit -> Report.t
+val e6_shatter : ?heavy:bool -> ?jobs:int -> unit -> Report.t
 (** Theorem 1.3: the shatter-point decoder battery. *)
 
-val e7_watermelon : ?heavy:bool -> unit -> Report.t
-(** Theorem 1.4: the watermelon decoder battery. *)
+val e7_watermelon : ?heavy:bool -> ?jobs:int -> unit -> Report.t
+(** Theorem 1.4: the watermelon decoder battery. [jobs] parallelizes
+    the strong-soundness row and the 8-path certificate-family
+    expansion over (identifier, port) choices. *)
 
 val e8_extraction : unit -> Report.t
 (** Lemma 3.2: colorable neighborhood graphs yield working extraction
@@ -89,6 +96,8 @@ val e20_edge_bit : ?heavy:bool -> unit -> Report.t
     strong and hiding LCP on even cycles with single-bit certificates,
     which E17 proves impossible in one round. *)
 
-val run_all : ?heavy:bool -> unit -> Report.t list
+val run_all : ?heavy:bool -> ?jobs:int -> unit -> Report.t list
 (** The full battery in order (E1-E20). [heavy] enables the larger
-    exhaustive searches (default true). *)
+    exhaustive searches (default true); [jobs] sets the
+    {!Lcp_engine.Pool} width used by the heavy batteries (E3, E4, E6,
+    E7) — results are independent of [jobs]. *)

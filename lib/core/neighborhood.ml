@@ -103,36 +103,46 @@ let odd_cycle t =
 let two_coloring t = if t.loops = [] then Coloring.two_color t.graph else None
 
 let exhaustive_family (suite : Decoder.suite) ~graphs ?(ports = `Canonical)
-    ?(ids = `Canonical) () =
+    ?(ids = `Canonical) ?(jobs = 1) () =
   let dec = suite.Decoder.dec in
-  let out = ref [] in
-  List.iter
-    (fun g ->
-      if Coloring.is_bipartite g && suite.Decoder.promise g then begin
-        let port_choices =
-          match ports with
-          | `Canonical -> [ Port.canonical g ]
-          | `All -> Port.enumerate g
-        in
-        let id_choices =
-          match ids with
-          | `Canonical -> [ Ident.canonical g ]
-          | `Canonical_bound b -> [ Ident.canonical ~bound:b g ]
-          | `All bound -> Ident.enumerate ~bound g
-        in
-        List.iter
-          (fun prt ->
-            List.iter
-              (fun idents ->
-                let base = Instance.make g ~ports:prt ~ids:idents in
-                let alphabet = suite.Decoder.adversary_alphabet base in
-                Prover.iter_accepted dec ~alphabet base (fun lab ->
-                    out := Instance.with_labels base lab :: !out))
-              id_choices)
-          port_choices
-      end)
-    graphs;
-  List.rev !out
+  (* one work unit per (graph, ports, ids) choice: coarse enough to
+     amortize domain scheduling, fine enough to balance the `All
+     spaces. Results are concatenated in choice order, so the family is
+     identical for every [jobs]. *)
+  let units =
+    List.concat_map
+      (fun g ->
+        if Coloring.is_bipartite g && suite.Decoder.promise g then
+          let port_choices =
+            match ports with
+            | `Canonical -> [ Port.canonical g ]
+            | `All -> Port.enumerate g
+          in
+          let id_choices =
+            match ids with
+            | `Canonical -> [ Ident.canonical g ]
+            | `Canonical_bound b -> [ Ident.canonical ~bound:b g ]
+            | `All bound -> Ident.enumerate ~bound g
+          in
+          List.concat_map
+            (fun prt -> List.map (fun idents -> (g, prt, idents)) id_choices)
+            port_choices
+        else [])
+      graphs
+  in
+  let expand (g, prt, idents) =
+    let base = Instance.make g ~ports:prt ~ids:idents in
+    let alphabet = suite.Decoder.adversary_alphabet base in
+    let acc = ref [] in
+    Prover.iter_accepted dec ~alphabet base (fun lab ->
+        acc := Instance.with_labels base lab :: !acc);
+    List.rev !acc
+  in
+  if jobs <= 1 then List.concat_map expand units
+  else
+    List.concat
+      (Array.to_list
+         (Lcp_engine.Pool.map ~jobs expand (Array.of_list units)))
 
 let to_dot t =
   Graph.to_dot t.graph ~name:"NeighborhoodGraph" ~label:(fun i ->

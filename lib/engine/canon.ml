@@ -1,0 +1,113 @@
+open Lcp_graph
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+(* Iterative refinement (1-WL): colors start as degrees and are
+   repeatedly replaced by the rank of (own color, sorted neighbor
+   colors) among the distinct signatures. Ranking by sorted signature
+   keeps the color ids isomorphism-invariant. *)
+let refine n adj =
+  let colors = Array.init n (fun v -> popcount adj.(v)) in
+  let stable = ref false in
+  let rounds = ref 0 in
+  while (not !stable) && !rounds < n do
+    incr rounds;
+    let signature v =
+      let nbr = ref [] in
+      for w = 0 to n - 1 do
+        if adj.(v) land (1 lsl w) <> 0 then nbr := colors.(w) :: !nbr
+      done;
+      (colors.(v), List.sort Stdlib.compare !nbr)
+    in
+    let sigs = Array.init n signature in
+    let distinct =
+      Array.to_list sigs |> List.sort_uniq Stdlib.compare |> Array.of_list
+    in
+    let rank s =
+      let rec bsearch lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if Stdlib.compare distinct.(mid) s < 0 then bsearch (mid + 1) hi
+          else bsearch lo mid
+      in
+      bsearch 0 (Array.length distinct)
+    in
+    let next = Array.map rank sigs in
+    if next = colors then stable := true else Array.blit next 0 colors 0 n
+  done;
+  colors
+
+let cells_of_colors n colors =
+  let max_c = Array.fold_left max 0 colors in
+  let buckets = Array.make (max_c + 1) [] in
+  for v = n - 1 downto 0 do
+    buckets.(colors.(v)) <- v :: buckets.(colors.(v))
+  done;
+  Array.to_list buckets |> List.filter (fun c -> c <> [])
+
+let canonical_mask ~n adj =
+  if n <= 1 then 0
+  else begin
+    let colors = refine n adj in
+    let cells = cells_of_colors n colors in
+    let edges =
+      let acc = ref [] in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if adj.(u) land (1 lsl v) <> 0 then acc := (u, v) :: !acc
+        done
+      done;
+      !acc
+    in
+    let slot a b =
+      let a, b = if a < b then (a, b) else (b, a) in
+      (a * ((2 * n) - a - 3) / 2) + b - 1
+    in
+    let perm = Array.make n (-1) in
+    let best = ref max_int in
+    let candidate () =
+      let mask =
+        List.fold_left
+          (fun m (u, v) -> m lor (1 lsl slot perm.(u) perm.(v)))
+          0 edges
+      in
+      if mask < !best then best := mask
+    in
+    (* assign new labels cell by cell: the cell occupying offsets
+       [offset .. offset + |cell| - 1] contributes all bijections *)
+    let rec assign_cells cells offset =
+      match cells with
+      | [] -> candidate ()
+      | cell :: rest ->
+          let size = List.length cell in
+          let used = Array.make size false in
+          let rec place = function
+            | [] -> assign_cells rest (offset + size)
+            | v :: vs ->
+                for i = 0 to size - 1 do
+                  if not used.(i) then begin
+                    used.(i) <- true;
+                    perm.(v) <- offset + i;
+                    place vs;
+                    used.(i) <- false
+                  end
+                done
+          in
+          place cell
+    in
+    assign_cells cells 0;
+    !best
+  end
+
+let key_adj ~n adj = Printf.sprintf "%d:%d" n (canonical_mask ~n adj)
+
+let key g =
+  let n = Graph.order g in
+  key_adj ~n (Chunk.adj_of_graph g)
+
+let canonical_graph g =
+  let n = Graph.order g in
+  Chunk.graph_of_mask n (canonical_mask ~n (Chunk.adj_of_graph g))

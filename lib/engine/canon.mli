@@ -1,0 +1,30 @@
+(** Exact canonical forms for small graphs.
+
+    Isomorphism-class dedup used to be a pairwise
+    [Graph.isomorphic] filter — O(classes²) backtracking tests per
+    bucket. Here each graph is mapped once to a {e canonical mask}: the
+    minimum edge mask over all relabelings consistent with an
+    iterative-refinement (1-WL) partition of the nodes. Two graphs are
+    isomorphic iff their canonical masks (and orders) agree, so dedup
+    becomes a single hash-table probe and the cost is
+    O(graphs · refinement), independent of the number of classes.
+
+    The refinement partition is isomorphism-invariant (colors are
+    re-ranked by sorted signature each round), so minimizing only over
+    partition-respecting relabelings is exact. The permutation budget is
+    [Π |cell|!], which collapses to a handful of candidates on all but
+    highly regular graphs. *)
+
+open Lcp_graph
+
+val canonical_mask : n:int -> int array -> int
+(** [canonical_mask ~n adj] over adjacency bitsets
+    (see {!Chunk.adj_of_mask}). *)
+
+val key_adj : n:int -> int array -> string
+(** ["n:canonical_mask"] — equal iff the graphs are isomorphic. *)
+
+val key : Graph.t -> string
+
+val canonical_graph : Graph.t -> Graph.t
+(** The canonical representative of the graph's isomorphism class. *)

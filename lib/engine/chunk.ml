@@ -1,0 +1,86 @@
+open Lcp_graph
+
+type t = { n : int; lo : int; hi : int }
+
+let slots n = n * (n - 1) / 2
+
+let space n =
+  let m = slots n in
+  if m > 30 then invalid_arg "Chunk.space: order too large";
+  1 lsl m
+
+let plan ?(chunk_bits = 12) n =
+  if chunk_bits < 0 then invalid_arg "Chunk.plan: negative chunk_bits";
+  let total = space n in
+  let step = 1 lsl chunk_bits in
+  let rec go lo acc =
+    if lo >= total then List.rev acc
+    else go (lo + step) ({ n; lo; hi = min total (lo + step) } :: acc)
+  in
+  go 0 []
+
+let iter c f =
+  for mask = c.lo to c.hi - 1 do
+    f mask
+  done
+
+let adj_of_mask n mask =
+  let adj = Array.make n 0 in
+  let i = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if mask land (1 lsl !i) <> 0 then begin
+        adj.(u) <- adj.(u) lor (1 lsl v);
+        adj.(v) <- adj.(v) lor (1 lsl u)
+      end;
+      incr i
+    done
+  done;
+  adj
+
+let adj_of_graph g =
+  let n = Graph.order g in
+  let adj = Array.make n 0 in
+  Graph.iter_edges
+    (fun u v ->
+      adj.(u) <- adj.(u) lor (1 lsl v);
+      adj.(v) <- adj.(v) lor (1 lsl u))
+    g;
+  adj
+
+(* slot index of the pair (a, b) with a < b in lexicographic order *)
+let slot_index n a b = (a * ((2 * n) - a - 3) / 2) + b - 1
+
+let mask_of_graph g =
+  let n = Graph.order g in
+  if slots n > 30 then invalid_arg "Chunk.mask_of_graph: order too large";
+  Graph.fold_edges (fun u v m -> m lor (1 lsl slot_index n u v)) g 0
+
+let graph_of_mask n mask =
+  let es = ref [] in
+  let i = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if mask land (1 lsl !i) <> 0 then es := (u, v) :: !es;
+      incr i
+    done
+  done;
+  Graph.of_edges n !es
+
+let is_connected_adj adj =
+  let n = Array.length adj in
+  if n <= 1 then true
+  else begin
+    let all = (1 lsl n) - 1 in
+    let seen = ref 1 in
+    let frontier = ref 1 in
+    while !frontier <> 0 && !seen <> all do
+      let next = ref 0 in
+      for v = 0 to n - 1 do
+        if !frontier land (1 lsl v) <> 0 then next := !next lor adj.(v)
+      done;
+      frontier := !next land lnot !seen;
+      seen := !seen lor !next
+    done;
+    !seen = all
+  end

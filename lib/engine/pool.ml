@@ -1,0 +1,85 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Run [worker] (which reports its exception instead of raising) on
+   this domain plus [extra] spawned domains; join everything, then
+   re-raise the first exception observed. *)
+let with_domains ~extra worker =
+  let spawned = List.init extra (fun _ -> Domain.spawn worker) in
+  let main_exn = worker () in
+  let first_exn =
+    List.fold_left
+      (fun acc d ->
+        let r = try Domain.join d with e -> Some e in
+        match acc with None -> r | Some _ -> acc)
+      main_exn spawned
+  in
+  match first_exn with Some e -> raise e | None -> ()
+
+let run ~jobs count f =
+  if count <= 0 then [||]
+  else if jobs <= 1 || count = 1 then Array.init count f
+  else begin
+    let results = Array.make count None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let exn = ref None in
+      (try
+         let continue = ref true in
+         while !continue do
+           let i = Atomic.fetch_and_add next 1 in
+           if i >= count then continue := false
+           else results.(i) <- Some (f i)
+         done
+       with e -> exn := Some e);
+      !exn
+    in
+    with_domains ~extra:(min jobs count - 1) worker;
+    Array.map (function Some x -> x | None -> assert false) results
+  end
+
+let map ~jobs f arr = run ~jobs (Array.length arr) (fun i -> f arr.(i))
+
+let search ~jobs count f =
+  if count <= 0 then None
+  else if jobs <= 1 || count = 1 then begin
+    let rec go i =
+      if i >= count then None
+      else match f i with Some x -> Some (i, x) | None -> go (i + 1)
+    in
+    go 0
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let best = Atomic.make max_int in
+    let lock = Mutex.create () in
+    let found = ref None in
+    let record i x =
+      (* lower the cancellation bound first, then the witness *)
+      let rec lower () =
+        let b = Atomic.get best in
+        if i < b && not (Atomic.compare_and_set best b i) then lower ()
+      in
+      lower ();
+      Mutex.lock lock;
+      (match !found with
+      | Some (j, _) when j <= i -> ()
+      | _ -> found := Some (i, x));
+      Mutex.unlock lock
+    in
+    let worker () =
+      let exn = ref None in
+      (try
+         let continue = ref true in
+         while !continue do
+           let i = Atomic.fetch_and_add next 1 in
+           if i >= count then continue := false
+           else if i < Atomic.get best then
+             match f i with Some x -> record i x | None -> ()
+           (* i above the current best: skip, it cannot win *)
+         done
+       with e -> exn := Some e);
+      !exn
+    in
+    with_domains ~extra:(min jobs count - 1) worker;
+    !found
+  end

@@ -1,0 +1,201 @@
+open Lcp_graph
+
+(* ------------------------------------------------------------------ *)
+(* enumeration + canonical dedup                                       *)
+
+type enum_tallies = {
+  e_scanned : int;
+  e_connected : int;
+  e_classes : int;
+  e_dedup_hits : int;
+}
+
+(* Each chunk dedups locally (canonical mask -> smallest edge mask);
+   the sequential merge keeps the smallest mask per class, so the
+   result is independent of chunk scheduling and of [jobs]. *)
+let enumerate_classes ~jobs ~connected n =
+  let chunk_bits = max 12 (Chunk.slots n - 6) in
+  let chunks = Array.of_list (Chunk.plan ~chunk_bits n) in
+  let per_chunk =
+    Pool.run ~jobs (Array.length chunks) (fun ci ->
+        let c = chunks.(ci) in
+        let tbl : (int, int) Hashtbl.t = Hashtbl.create 512 in
+        let scanned = ref 0 and conn = ref 0 in
+        Chunk.iter c (fun mask ->
+            incr scanned;
+            let adj = Chunk.adj_of_mask n mask in
+            if (not connected) || Chunk.is_connected_adj adj then begin
+              incr conn;
+              let key = Canon.canonical_mask ~n adj in
+              match Hashtbl.find_opt tbl key with
+              | Some m when m <= mask -> ()
+              | _ -> Hashtbl.replace tbl key mask
+            end);
+        (!scanned, !conn, tbl))
+  in
+  let global : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let scanned = ref 0 and conn = ref 0 in
+  Array.iter
+    (fun (s, c, tbl) ->
+      scanned := !scanned + s;
+      conn := !conn + c;
+      Hashtbl.iter
+        (fun key mask ->
+          match Hashtbl.find_opt global key with
+          | Some m when m <= mask -> ()
+          | _ -> Hashtbl.replace global key mask)
+        tbl)
+    per_chunk;
+  let masks =
+    Hashtbl.fold (fun _ mask acc -> mask :: acc) global []
+    |> List.sort Stdlib.compare
+  in
+  let reps = List.map (Chunk.graph_of_mask n) masks in
+  let tallies =
+    {
+      e_scanned = !scanned;
+      e_connected = !conn;
+      e_classes = List.length masks;
+      e_dedup_hits = !conn - List.length masks;
+    }
+  in
+  (reps, tallies)
+
+(* ------------------------------------------------------------------ *)
+(* the cross-sweep class cache                                         *)
+
+let cache : (int * bool, Graph.t list * enum_tallies) Hashtbl.t =
+  Hashtbl.create 16
+
+let cache_lock = Mutex.create ()
+let hits = ref 0
+let misses = ref 0
+
+let classes_cached ~jobs ~connected n =
+  Mutex.lock cache_lock;
+  let cached = Hashtbl.find_opt cache (n, connected) in
+  (match cached with Some _ -> incr hits | None -> incr misses);
+  Mutex.unlock cache_lock;
+  match cached with
+  | Some entry -> entry
+  | None ->
+      (* compute outside the lock: workers must not hold it, and a
+         duplicated computation on a race is deterministic anyway *)
+      let entry = enumerate_classes ~jobs ~connected n in
+      Mutex.lock cache_lock;
+      if not (Hashtbl.mem cache (n, connected)) then
+        Hashtbl.replace cache (n, connected) entry;
+      Mutex.unlock cache_lock;
+      entry
+
+let iso_classes ?jobs ?(connected = true) n =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  fst (classes_cached ~jobs ~connected n)
+
+let cache_stats () = (!hits, !misses)
+
+let clear_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  hits := 0;
+  misses := 0;
+  Mutex.unlock cache_lock
+
+(* ------------------------------------------------------------------ *)
+(* sweeps                                                              *)
+
+type mode = Exhaustive | Search_counterexample
+
+type counters = {
+  scanned : int;
+  connected : int;
+  classes : int;
+  dedup_hits : int;
+  kept : int;
+  checked : int;
+  passed : int;
+  violations : int;
+}
+
+type 'c summary = {
+  n : int;
+  jobs : int;
+  mode : mode;
+  counters : counters;
+  counterexample : (Graph.t * 'c) option;
+  wall_s : float;
+}
+
+let run ?jobs ?(mode = Exhaustive) ?(connected = true)
+    ?(keep = fun _ -> true) ~n ~check () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let t0 = Unix.gettimeofday () in
+  let reps, e = classes_cached ~jobs ~connected n in
+  let targets = Array.of_list (List.filter keep reps) in
+  let kept = Array.length targets in
+  let checked, passed, violations, counterexample =
+    match mode with
+    | Exhaustive ->
+        let verdicts = Pool.run ~jobs kept (fun i -> check targets.(i)) in
+        let violations = ref 0 and first = ref None in
+        Array.iteri
+          (fun i v ->
+            match v with
+            | None -> ()
+            | Some c ->
+                incr violations;
+                if !first = None then first := Some (targets.(i), c))
+          verdicts;
+        (kept, kept - !violations, !violations, !first)
+    | Search_counterexample ->
+        let checked = Atomic.make 0 in
+        let hit =
+          Pool.search ~jobs kept (fun i ->
+              Atomic.incr checked;
+              check targets.(i))
+        in
+        let checked = Atomic.get checked in
+        (match hit with
+        | Some (i, c) -> (checked, checked - 1, 1, Some (targets.(i), c))
+        | None -> (checked, checked, 0, None))
+  in
+  {
+    n;
+    jobs;
+    mode;
+    counters =
+      {
+        scanned = e.e_scanned;
+        connected = e.e_connected;
+        classes = e.e_classes;
+        dedup_hits = e.e_dedup_hits;
+        kept;
+        checked;
+        passed;
+        violations;
+      };
+    counterexample;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let pp_summary ppf s =
+  let c = s.counters in
+  Format.fprintf ppf
+    "@[<v>sweep n=%d jobs=%d mode=%s@,\
+     masks scanned   %d@,\
+     connected       %d@,\
+     iso classes     %d (dedup folded %d)@,\
+     kept / checked  %d / %d@,\
+     passed/violations %d / %d@,\
+     counterexample  %s@,\
+     wall            %.3fs@]"
+    s.n s.jobs
+    (match s.mode with
+    | Exhaustive -> "exhaustive"
+    | Search_counterexample -> "search")
+    c.scanned c.connected c.classes c.dedup_hits c.kept c.checked c.passed
+    c.violations
+    (match s.counterexample with
+    | None -> "none"
+    | Some (g, _) -> Graph.to_string g)
+    s.wall_s

@@ -1,0 +1,85 @@
+(** The exhaustive-verification engine.
+
+    Every theorem-check in this reproduction reduces to the same sweep:
+    enumerate an exhaustive space of small graphs, keep one
+    representative per isomorphism class, and run a verifier over the
+    survivors. The engine runs that sweep batched (mask-range chunks,
+    {!Chunk}), deduplicated by canonical form ({!Canon}), parallel
+    ({!Pool}), and cached (iso-class listings are memoized across
+    sweeps, so the many experiments that re-enumerate the same orders
+    pay for enumeration once per process).
+
+    Results are deterministic in [jobs]: class listings, summaries and
+    counterexamples are bit-identical whether the sweep runs on one
+    domain or many. *)
+
+open Lcp_graph
+
+(** {1 Cached isomorphism classes} *)
+
+val iso_classes : ?jobs:int -> ?connected:bool -> int -> Graph.t list
+(** One representative (the one with the smallest edge mask) per
+    isomorphism class of graphs on [n] nodes ([connected] defaults to
+    [true]: connected graphs only). Enumerated in parallel chunks,
+    deduplicated via {!Canon.canonical_mask}, returned in ascending
+    mask order, and memoized across calls. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the cross-sweep iso-class cache. *)
+
+val clear_cache : unit -> unit
+(** Drop the memoized class listings (resets {!cache_stats}). *)
+
+(** {1 Sweeps} *)
+
+type mode =
+  | Exhaustive
+      (** Check every class; count passed and violations. *)
+  | Search_counterexample
+      (** Early-exit as soon as any worker finds a violation; work at
+          higher mask indices is cancelled. The counterexample returned
+          is still the minimal-mask one, so verdicts and witnesses are
+          identical to an [Exhaustive] run. *)
+
+type counters = {
+  scanned : int;  (** labeled graphs decoded from masks *)
+  connected : int;  (** survivors of the connectivity filter *)
+  classes : int;  (** isomorphism classes *)
+  dedup_hits : int;  (** labeled graphs folded into an existing class *)
+  kept : int;  (** classes surviving the [keep] filter *)
+  checked : int;  (** classes the verifier actually ran on *)
+  passed : int;
+  violations : int;
+}
+(** Per-worker tallies merged into one record. In
+    [Search_counterexample] mode [checked]/[passed] may vary with
+    [jobs] (cancelled work is not checked); everything else is
+    deterministic. *)
+
+type 'c summary = {
+  n : int;
+  jobs : int;
+  mode : mode;
+  counters : counters;
+  counterexample : (Graph.t * 'c) option;
+      (** the violating class with the smallest edge mask *)
+  wall_s : float;
+}
+
+val run :
+  ?jobs:int ->
+  ?mode:mode ->
+  ?connected:bool ->
+  ?keep:(Graph.t -> bool) ->
+  n:int ->
+  check:(Graph.t -> 'c option) ->
+  unit ->
+  'c summary
+(** Sweep the [n]-node space: enumerate + dedup (cached), filter the
+    representatives through [keep] (which must be
+    isomorphism-invariant — it runs on one representative per class),
+    and run [check] on each kept class in parallel. [check g = Some c]
+    reports a violation [c]; [None] is an accept. [jobs] defaults to
+    {!Pool.default_jobs}; [1] is a strictly sequential sweep. *)
+
+val pp_summary : Format.formatter -> 'c summary -> unit

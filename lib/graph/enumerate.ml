@@ -24,9 +24,12 @@ let all_graphs n =
   iter_graphs n (fun g -> acc := g :: !acc);
   List.rev !acc
 
+let iter_connected n f =
+  iter_graphs n (fun g -> if Graph.is_connected g then f g)
+
 let connected_graphs n =
   let acc = ref [] in
-  iter_graphs n (fun g -> if Graph.is_connected g then acc := g :: !acc);
+  iter_connected n (fun g -> acc := g :: !acc);
   List.rev !acc
 
 let up_to_iso graphs =

@@ -2,28 +2,58 @@
 
     The soundness theorems quantify over {e every} graph; on small
     orders we can check them literally. All functions here enumerate
-    {e labeled} graphs on nodes [0 .. n-1]; [up_to_iso] filters one
-    representative per isomorphism class (brute force, so keep
-    [n <= 7]). *)
+    {e labeled} graphs on nodes [0 .. n-1], in ascending edge-mask
+    order (the mask assigns bit [i] to the [i]-th pair [(u, v)],
+    [u < v], in lexicographic order).
 
-val all_graphs : int -> Graph.t list
-(** All 2^(n choose 2) labeled graphs on [n] nodes. Keep [n <= 5] or
-    filter aggressively. *)
+    The streaming iterators are the primary API: they visit the
+    2^(n choose 2) labeled graphs one at a time without materializing
+    the list, which is the only shape that survives past [n = 5]. The
+    list-returning functions below are retained for small-[n]
+    convenience and for historical call sites; for whole-space sweeps
+    with isomorphism dedup, parallelism and caching, use
+    [Lcp_engine.Sweep] instead (it reproduces these orders and
+    representative choices exactly). *)
+
+(** {1 Streaming (primary)} *)
 
 val iter_graphs : int -> (Graph.t -> unit) -> unit
-(** Iterate without materializing the list. *)
+(** Visit every labeled graph on [n] nodes in ascending mask order,
+    without materializing the list. *)
 
-val connected_graphs : int -> Graph.t list
-(** Labeled connected graphs on exactly [n] nodes. *)
-
-val up_to_iso : Graph.t list -> Graph.t list
-(** One representative per isomorphism class (order preserved). *)
-
-val connected_up_to_iso : int -> Graph.t list
-(** Connected graphs on [n] nodes up to isomorphism. *)
-
-val non_bipartite : Graph.t list -> Graph.t list
-val bipartite : Graph.t list -> Graph.t list
+val iter_connected : int -> (Graph.t -> unit) -> unit
+(** Like {!iter_graphs}, restricted to connected graphs. *)
 
 val count_graphs : int -> int
 (** [2^(n choose 2)], for sanity checks. *)
+
+(** {1 Materializing (small n only)} *)
+
+val all_graphs : int -> Graph.t list
+(** All 2^(n choose 2) labeled graphs on [n] nodes, as one list.
+    @deprecated Materializes the whole space — 32768 graphs at [n = 6],
+    2M at [n = 7]. Use {!iter_graphs} (same order) or
+    [Lcp_engine.Sweep] for anything beyond [n = 5]. *)
+
+val connected_graphs : int -> Graph.t list
+(** Labeled connected graphs on exactly [n] nodes, as one list.
+    @deprecated Same cost profile as {!all_graphs}; use
+    {!iter_connected} or [Lcp_engine.Sweep.iso_classes]. *)
+
+(** {1 Isomorphism dedup (brute force)} *)
+
+val up_to_iso : Graph.t list -> Graph.t list
+(** One representative per isomorphism class: the first seen, so on
+    mask-ordered input the minimal-mask member (order preserved).
+    Pairwise brute force over invariant buckets — quadratic in the
+    class count; [Lcp_engine.Canon] does the same dedup via canonical
+    hashing in linear time. *)
+
+val connected_up_to_iso : int -> Graph.t list
+(** Connected graphs on [n] nodes up to isomorphism (minimal-mask
+    representatives). Brute force — keep [n <= 6]; for larger orders
+    use [Lcp_engine.Sweep.iso_classes], which returns the identical
+    listing, cached and in parallel. *)
+
+val non_bipartite : Graph.t list -> Graph.t list
+val bipartite : Graph.t list -> Graph.t list

@@ -1,0 +1,250 @@
+(* The Lcp_engine battery: canonical forms, the domain pool, cached
+   iso-class enumeration, and sweep determinism across jobs counts.
+
+   The expensive n = 7 regression (853 connected classes) only runs
+   when LCP_HEAVY is set: `LCP_HEAVY=1 dune runtest`. *)
+
+open Lcp_graph
+open Lcp_engine
+open Helpers
+
+let heavy_enabled = Sys.getenv_opt "LCP_HEAVY" <> None
+
+(* ------------------------------------------------------------------ *)
+(* Chunk                                                               *)
+
+let test_chunk_plan () =
+  check_int "space 4" 64 (Chunk.space 4);
+  let chunks = Chunk.plan ~chunk_bits:4 5 in
+  check_int "5-node space in 16-mask chunks" 64 (List.length chunks);
+  let covered = ref 0 in
+  List.iter (fun c -> Chunk.iter c (fun _ -> incr covered)) chunks;
+  check_int "chunks cover the space exactly" (Chunk.space 5) !covered;
+  check_int "one chunk for tiny spaces" 1 (List.length (Chunk.plan 1))
+
+let test_mask_roundtrip () =
+  (* every mask on 4 nodes decodes to the graph that re-encodes to it *)
+  for mask = 0 to Chunk.space 4 - 1 do
+    let g = Chunk.graph_of_mask 4 mask in
+    check_int "mask roundtrip" mask (Chunk.mask_of_graph g);
+    let adj = Chunk.adj_of_mask 4 mask in
+    check_bool "adj connectivity agrees with Graph.is_connected"
+      (Graph.is_connected g)
+      (Chunk.is_connected_adj adj)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Canon                                                               *)
+
+let test_canon_iso_invariant () =
+  (* the canonical key is constant on each isomorphism class: relabel
+     every connected 5-node representative by a few permutations *)
+  let perms =
+    [ [| 4; 3; 2; 1; 0 |]; [| 1; 2; 3; 4; 0 |]; [| 2; 0; 4; 1; 3 |] ]
+  in
+  List.iter
+    (fun g ->
+      let k = Canon.key g in
+      List.iter
+        (fun p ->
+          check_bool "key invariant under relabeling" true
+            (String.equal k (Canon.key (Graph.relabel g p))))
+        perms)
+    (Enumerate.connected_up_to_iso 5)
+
+let test_canon_separates () =
+  (* distinct classes get distinct keys: counts match the brute-force
+     pairwise-isomorphism dedup *)
+  let keys = Hashtbl.create 64 in
+  Enumerate.iter_graphs 5 (fun g ->
+      if Graph.is_connected g then Hashtbl.replace keys (Canon.key g) ());
+  check_int "canonical keys count the iso classes" 21 (Hashtbl.length keys)
+
+let test_canonical_graph () =
+  let c5 = Builders.cycle 5 in
+  let shuffled = Graph.relabel c5 [| 3; 0; 4; 1; 2 |] in
+  check_graph "canonical representative is stable"
+    (Canon.canonical_graph c5)
+    (Canon.canonical_graph shuffled);
+  check_bool "representative stays isomorphic" true
+    (Graph.isomorphic c5 (Canon.canonical_graph c5))
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let test_pool_run_matches_sequential () =
+  let f i = (i * i) + 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "run jobs=%d" jobs)
+        (Array.init 100 f)
+        (Pool.run ~jobs 100 f))
+    [ 1; 2; 4 ];
+  check_int "empty run" 0 (Array.length (Pool.run ~jobs:4 0 f))
+
+let test_pool_search_minimal () =
+  (* matches at 17, 23, 61: every jobs count must report 17 *)
+  let f i = if i = 17 || i = 23 || i = 61 then Some (i * 10) else None in
+  List.iter
+    (fun jobs ->
+      match Pool.search ~jobs 100 f with
+      | Some (17, 170) -> ()
+      | Some (i, _) ->
+          Alcotest.failf "search jobs=%d returned index %d, wanted 17" jobs i
+      | None -> Alcotest.failf "search jobs=%d found nothing" jobs)
+    [ 1; 2; 4 ];
+  check_bool "no match" true (Pool.search ~jobs:4 50 (fun _ -> None) = None)
+
+let test_pool_exception_propagates () =
+  let boom i = if i = 3 then failwith "boom" else i in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "exception re-raised at jobs=%d" jobs)
+        true
+        (try
+           ignore (Pool.run ~jobs 8 boom);
+           false
+         with Failure _ -> true))
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: cached classes                                               *)
+
+let test_iso_classes_counts () =
+  (* 1, 1, 2, 6, 21, 112 connected classes on n = 1..6 *)
+  List.iter
+    (fun (n, expected) ->
+      check_int
+        (Printf.sprintf "connected classes n=%d" n)
+        expected
+        (List.length (Sweep.iso_classes ~jobs:2 n)))
+    [ (1, 1); (2, 1); (3, 2); (4, 6); (5, 21); (6, 112) ];
+  (* including disconnected graphs: 11 classes on 4 nodes *)
+  check_int "all classes n=4" 11
+    (List.length (Sweep.iso_classes ~jobs:2 ~connected:false 4))
+
+let test_iso_classes_deterministic () =
+  Sweep.clear_cache ();
+  let seq = Sweep.iso_classes ~jobs:1 5 in
+  Sweep.clear_cache ();
+  let par = Sweep.iso_classes ~jobs:4 5 in
+  check_int "same class count" (List.length seq) (List.length par);
+  List.iter2 (fun a b -> check_graph "identical representative" a b) seq par
+
+let test_iso_classes_agree_with_enumerate () =
+  (* same classes as the brute-force path, up to isomorphism *)
+  let engine = Sweep.iso_classes ~jobs:2 4 in
+  let brute = Enumerate.connected_up_to_iso 4 in
+  check_int "class count vs Enumerate" (List.length brute) (List.length engine);
+  List.iter
+    (fun g ->
+      check_bool "class represented" true
+        (List.exists (Graph.isomorphic g) brute))
+    engine
+
+let test_class_cache_hits () =
+  Sweep.clear_cache ();
+  ignore (Sweep.iso_classes ~jobs:1 5);
+  let h0, m0 = Sweep.cache_stats () in
+  check_int "first sweep misses" 1 m0;
+  check_int "first sweep hits" 0 h0;
+  ignore (Sweep.iso_classes ~jobs:4 5);
+  ignore (Sweep.iso_classes ~jobs:1 5);
+  let h1, m1 = Sweep.cache_stats () in
+  check_int "repeat sweeps hit" 2 (h1 - h0);
+  check_int "no recompute" m0 m1
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: verdict determinism                                          *)
+
+(* A seeded soundness-violating "decoder": flags any graph containing a
+   triangle through node 0 .. i.e. an isomorphism-invariant predicate
+   with both outcomes present on 5 nodes. *)
+let has_triangle g =
+  List.exists
+    (fun (u, v) ->
+      List.exists
+        (fun w -> Graph.mem_edge g u w && Graph.mem_edge g v w)
+        (Graph.nodes g))
+    (Graph.edges g)
+
+let violation_check g = if has_triangle g then Some (Graph.size g) else None
+
+let test_sweep_deterministic_across_jobs () =
+  let run jobs mode =
+    Sweep.run ~jobs ~mode ~n:5 ~check:violation_check ()
+  in
+  let base = run 1 Sweep.Exhaustive in
+  check_bool "violations exist on 5 nodes" true
+    (base.Sweep.counterexample <> None);
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun mode ->
+          let s = run jobs mode in
+          check_int "same classes" base.Sweep.counters.Sweep.classes
+            s.Sweep.counters.Sweep.classes;
+          match (base.Sweep.counterexample, s.Sweep.counterexample) with
+          | Some (g, c), Some (g', c') ->
+              check_graph "identical counterexample graph" g g';
+              check_int "identical counterexample payload" c c'
+          | _ -> Alcotest.fail "verdict flipped across jobs")
+        [ Sweep.Exhaustive; Sweep.Search_counterexample ])
+    [ 1; 2; 4 ]
+
+let test_sweep_clean_space () =
+  (* no violation: every mode and jobs count agrees on the verdict and
+     the exhaustive counters *)
+  let s = Sweep.run ~jobs:4 ~n:5 ~check:(fun _ -> None) () in
+  check_bool "no counterexample" true (s.Sweep.counterexample = None);
+  check_int "all classes accepted" s.Sweep.counters.Sweep.kept
+    s.Sweep.counters.Sweep.passed;
+  let t =
+    Sweep.run ~jobs:4 ~mode:Sweep.Search_counterexample ~n:5
+      ~check:(fun _ -> None) ()
+  in
+  check_bool "search agrees" true (t.Sweep.counterexample = None)
+
+let test_sweep_keep_filter () =
+  (* keep = bipartite only: counterexamples (triangles) all filtered *)
+  let s =
+    Sweep.run ~jobs:2 ~n:5 ~keep:Coloring.is_bipartite ~check:violation_check ()
+  in
+  check_bool "bipartite classes have no triangles" true
+    (s.Sweep.counterexample = None);
+  check_bool "filter dropped classes" true
+    (s.Sweep.counters.Sweep.kept < s.Sweep.counters.Sweep.classes)
+
+(* ------------------------------------------------------------------ *)
+(* heavy regression: n = 7                                             *)
+
+let test_n7_classes () =
+  if not heavy_enabled then ()
+  else begin
+    let s = Sweep.run ~n:7 ~check:(fun _ -> None) () in
+    check_int "853 connected classes on 7 nodes" 853
+      s.Sweep.counters.Sweep.classes;
+    check_int "2^21 masks scanned" (Chunk.space 7) s.Sweep.counters.Sweep.scanned
+  end
+
+let suite =
+  [
+    case "chunk plan covers the space" test_chunk_plan;
+    case "mask decode/encode roundtrip" test_mask_roundtrip;
+    case "canonical key is iso-invariant" test_canon_iso_invariant;
+    case "canonical key separates classes" test_canon_separates;
+    case "canonical representative" test_canonical_graph;
+    case "pool run = sequential" test_pool_run_matches_sequential;
+    case "pool search returns minimal match" test_pool_search_minimal;
+    case "pool propagates exceptions" test_pool_exception_propagates;
+    case "iso-class counts n<=6" test_iso_classes_counts;
+    case "iso classes deterministic in jobs" test_iso_classes_deterministic;
+    case "iso classes agree with Enumerate" test_iso_classes_agree_with_enumerate;
+    case "class cache hits across sweeps" test_class_cache_hits;
+    case "sweep verdicts deterministic in jobs" test_sweep_deterministic_across_jobs;
+    case "sweep on a clean space" test_sweep_clean_space;
+    case "sweep keep filter" test_sweep_keep_filter;
+    slow_case "853 classes on n=7 (LCP_HEAVY)" test_n7_classes;
+  ]
