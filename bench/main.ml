@@ -4,13 +4,21 @@
    times, certificate sizes vs n).
 
    Run with: dune exec bench/main.exe            (full)
-             dune exec bench/main.exe -- --fast  (shorter quota) *)
+             dune exec bench/main.exe -- --fast  (shorter quota)
+
+   The engine series run under one [Run_cfg.t]; the sweep series plus
+   the run's aggregate metrics land in a schema-versioned JSON file
+   (--metrics-out PATH, default BENCH_sweep.json). *)
 
 open Lcp_graph
 open Lcp_local
 open Lcp
 
 let rng = Random.State.make [| 424242 |]
+
+(* One cfg for every engine-backed series below: recommended domain
+   count, shared metrics registry. *)
+let bench_cfg = Run_cfg.make ~seed:424242 ()
 
 (* ------------------------------------------------------------------ *)
 (* fixtures shared by the benchmarks                                    *)
@@ -315,7 +323,8 @@ let series_engine_dedup ~fast () =
     (fun n ->
       Lcp_engine.Sweep.clear_cache ();
       let engine_classes, engine_s =
-        time (fun () -> Lcp_engine.Sweep.iso_classes ~jobs:1 n)
+        time (fun () ->
+            Lcp_engine.Sweep.iso_classes ~cfg:(Run_cfg.sequential bench_cfg) n)
       in
       (* the pairwise path is O(classes * labeled graphs) brute-force
          isomorphism; past n=6 it stops being measurable in a bench *)
@@ -332,28 +341,33 @@ let series_engine_dedup ~fast () =
         Printf.printf "%6d %10d %12.3f %14s %14s\n" n
           (List.length engine_classes) engine_s "(skipped)" "-")
     (if fast then [ 4; 5; 6 ] else [ 4; 5; 6; 7 ]);
-  let again, cached_s = time (fun () -> Lcp_engine.Sweep.iso_classes ~jobs:1 6) in
+  let again, cached_s =
+    time (fun () ->
+        Lcp_engine.Sweep.iso_classes ~cfg:(Run_cfg.sequential bench_cfg) 6)
+  in
   let hits, misses = Lcp_engine.Sweep.cache_stats () in
   Printf.printf
     "   cross-sweep cache: re-listing n=6 takes %.6fs (%d classes; %d hits / \
      %d misses)\n"
     cached_s (List.length again) hits misses
 
+(* Returns the printed rows so the driver can serialize them into
+   BENCH_sweep.json alongside the aggregate metrics. *)
 let series_engine_sweep ~fast () =
   Printf.printf
     "\n== series: engine soundness sweep, degree-one decoder, jobs=1 vs \
      jobs=%d (E3)\n"
-    (Lcp_engine.Pool.default_jobs ());
+    bench_cfg.Run_cfg.jobs;
   Printf.printf "%6s %8s %12s %12s %10s %10s\n" "n" "kept" "seq(s)" "par(s)"
     "speedup" "identical";
-  List.iter
+  List.map
     (fun n ->
-      let sweep ~jobs =
+      let sweep cfg =
         Lcp_engine.Sweep.clear_cache ();
-        Checker.soundness_sweep ~jobs D_degree_one.suite ~n
+        Checker.soundness_sweep ~cfg D_degree_one.suite ~n
       in
-      let seq = sweep ~jobs:1 in
-      let par = sweep ~jobs:(Lcp_engine.Pool.default_jobs ()) in
+      let seq = sweep (Run_cfg.sequential bench_cfg) in
+      let par = sweep bench_cfg in
       let identical =
         Checker.verdict_of_sweep seq = Checker.verdict_of_sweep par
         && seq.Lcp_engine.Sweep.counters = par.Lcp_engine.Sweep.counters
@@ -363,8 +377,45 @@ let series_engine_sweep ~fast () =
         seq.Lcp_engine.Sweep.counters.Lcp_engine.Sweep.kept
         seq.Lcp_engine.Sweep.wall_s par.Lcp_engine.Sweep.wall_s
         (seq.Lcp_engine.Sweep.wall_s /. Float.max par.Lcp_engine.Sweep.wall_s 1e-9)
-        identical)
+        identical;
+      let kept = seq.Lcp_engine.Sweep.counters.Lcp_engine.Sweep.kept in
+      (n, kept, seq.Lcp_engine.Sweep.wall_s, par.Lcp_engine.Sweep.wall_s,
+       identical))
     (if fast then [ 4; 5 ] else [ 4; 5; 6 ])
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_sweep.json: the sweep series plus the run's metrics            *)
+
+let bench_schema_version = 1
+
+let write_sweep_json path rows =
+  let ns s = int_of_float (s *. 1e9) in
+  let row (n, kept, seq_s, par_s, identical) =
+    Json.Obj
+      [
+        ("n", Json.Int n);
+        ("kept", Json.Int kept);
+        ("seq_wall_ns", Json.Int (ns seq_s));
+        ("par_wall_ns", Json.Int (ns par_s));
+        ("identical", Json.Bool identical);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int bench_schema_version);
+        ("jobs", Json.Int bench_cfg.Run_cfg.jobs);
+        ("sweep", Json.List (List.map row rows));
+        ("metrics", Lcp_obs.Metrics.to_json bench_cfg.Run_cfg.metrics);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty doc);
+      output_string oc "\n");
+  Printf.printf "sweep series + metrics written to %s\n" path
 
 let series_sync () =
   Printf.printf
@@ -384,6 +435,15 @@ let series_sync () =
 
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
+  let metrics_out =
+    let out = ref "BENCH_sweep.json" in
+    Array.iteri
+      (fun i a ->
+        if a = "--metrics-out" && i + 1 < Array.length Sys.argv then
+          out := Sys.argv.(i + 1))
+      Sys.argv;
+    !out
+  in
   Printf.printf "LCP benchmark harness (bechamel)%s\n\n"
     (if fast then " [fast]" else "");
   run_benchmarks ~fast ();
@@ -392,6 +452,7 @@ let () =
   series_strong_checks ();
   series_scaling ();
   series_engine_dedup ~fast ();
-  series_engine_sweep ~fast ();
+  let sweep_rows = series_engine_sweep ~fast () in
   series_sync ();
+  write_sweep_json metrics_out sweep_rows;
   Printf.printf "\nbench done.\n"

@@ -11,11 +11,14 @@ let pp_verdict ppf = function
   | Fail { detail; instance } ->
       Format.fprintf ppf "FAIL: %s@ on %a" detail Instance.pp instance
 
-(* Fold with early exit on failure, counting checks. With [jobs > 1]
-   the instances are checked on the engine's domain pool; the verdict
-   is the first failure in instance order, so a Pass/Fail outcome and
-   its witness are identical to the sequential fold. *)
-let fold_verdict ?(jobs = 1) instances f =
+(* Fold with early exit on failure, counting checks. With a cfg whose
+   [jobs > 1] the instances are checked on the engine's domain pool;
+   the verdict is the first failure in instance order, so a Pass/Fail
+   outcome and its witness are identical to the sequential fold. No
+   cfg means strictly sequential: checks that share mutable state
+   across instances (e.g. one RNG) rely on that. *)
+let fold_verdict ?cfg instances f =
+  let jobs = match cfg with Some c -> c.Run_cfg.jobs | None -> 1 in
   if jobs <= 1 then
     let rec go checked = function
       | [] -> Pass { checked }
@@ -26,7 +29,10 @@ let fold_verdict ?(jobs = 1) instances f =
     in
     go 0 instances
   else
-    let results = Lcp_engine.Pool.map ~jobs f (Array.of_list instances) in
+    let metrics = Option.map (fun c -> c.Run_cfg.metrics) cfg in
+    let results =
+      Lcp_engine.Pool.map ?metrics ~jobs f (Array.of_list instances)
+    in
     Array.fold_left
       (fun acc r ->
         match (acc, r) with
@@ -35,6 +41,16 @@ let fold_verdict ?(jobs = 1) instances f =
         | Pass _, Error failure -> Fail failure)
       (Pass { checked = 0 })
       results
+
+(* [labelings_checked] is the engine-wide deterministic work counter:
+   complete labelings inspected by exhaustive checks, partial labelings
+   examined by certificate searches. Searches are sequential per
+   instance and tallies are summed, so the total is independent of
+   [jobs] (on passing runs — a Fail short-circuits differently). *)
+let count_labelings cfg by =
+  match cfg with
+  | None -> ()
+  | Some c -> Run_cfg.count c ~by "labelings_checked"
 
 let completeness (suite : Decoder.suite) instances =
   fold_verdict instances (fun inst ->
@@ -61,12 +77,16 @@ let completeness (suite : Decoder.suite) instances =
                          (List.map string_of_int (List.rev !rejecting)));
                 })
 
-let soundness_exhaustive ?jobs (suite : Decoder.suite) instances =
-  fold_verdict ?jobs instances (fun inst ->
+let soundness_exhaustive ?cfg (suite : Decoder.suite) instances =
+  fold_verdict ?cfg instances (fun inst ->
       if Coloring.is_bipartite inst.Instance.graph then Ok 0
       else
         let alphabet = suite.Decoder.adversary_alphabet inst in
-        match Prover.find_accepted suite.Decoder.dec ~alphabet inst with
+        let witness, inspected =
+          Prover.search_accepted suite.Decoder.dec ~alphabet inst
+        in
+        count_labelings cfg inspected;
+        match witness with
         | None -> Ok 1
         | Some lab ->
             Error
@@ -87,19 +107,23 @@ let check_strong (suite : Decoder.suite) ~k inst lab =
           Printf.sprintf "accepting nodes induce a non-%d-colorable subgraph" k;
       }
 
-let strong_soundness_exhaustive ?jobs (suite : Decoder.suite) ~k instances =
-  fold_verdict ?jobs instances (fun inst ->
+let strong_soundness_exhaustive ?cfg (suite : Decoder.suite) ~k instances =
+  fold_verdict ?cfg instances (fun inst ->
       let alphabet = suite.Decoder.adversary_alphabet inst in
       let checked = ref 0 in
       let exception Failed of failure in
-      try
-        Labeling.iter_all ~alphabet inst.Instance.graph (fun lab ->
-            incr checked;
-            match check_strong suite ~k inst (Array.copy lab) with
-            | None -> ()
-            | Some failure -> raise (Failed failure));
-        Ok !checked
-      with Failed failure -> Error failure)
+      let result =
+        try
+          Labeling.iter_all ~alphabet inst.Instance.graph (fun lab ->
+              incr checked;
+              match check_strong suite ~k inst (Array.copy lab) with
+              | None -> ()
+              | Some failure -> raise (Failed failure));
+          Ok !checked
+        with Failed failure -> Error failure
+      in
+      count_labelings cfg !checked;
+      result)
 
 let strong_soundness_random (suite : Decoder.suite) ~k ~trials rng instances =
   fold_verdict instances (fun inst ->
@@ -145,17 +169,24 @@ let invariance_check ~checker dec ~trials rng instances =
 (* ------------------------------------------------------------------ *)
 (* engine sweeps: soundness over the whole n-node graph space          *)
 
-let soundness_sweep ?jobs ?(early_exit = false) (suite : Decoder.suite) ~n =
+let soundness_sweep ?cfg ?(early_exit = false) (suite : Decoder.suite) ~n =
   let mode =
     if early_exit then Lcp_engine.Sweep.Search_counterexample
     else Lcp_engine.Sweep.Exhaustive
   in
-  Lcp_engine.Sweep.run ?jobs ~mode ~n
+  (* materialize the counter: a sweep that keeps zero classes must
+     still serialize the same key set *)
+  count_labelings cfg 0;
+  Lcp_engine.Sweep.run ?cfg ~mode ~n
     ~keep:(fun g -> not (Coloring.is_bipartite g))
     ~check:(fun g ->
       let inst = Instance.make g in
       let alphabet = suite.Decoder.adversary_alphabet inst in
-      match Prover.find_accepted suite.Decoder.dec ~alphabet inst with
+      let witness, inspected =
+        Prover.search_accepted suite.Decoder.dec ~alphabet inst
+      in
+      count_labelings cfg inspected;
+      match witness with
       | None -> None
       | Some lab -> Some (Instance.with_labels inst lab))
     ()

@@ -21,23 +21,27 @@ val completeness : Decoder.suite -> Instance.t list -> verdict
     every node; instances outside the class are skipped. *)
 
 val soundness_exhaustive :
-  ?jobs:int -> Decoder.suite -> Instance.t list -> verdict
+  ?cfg:Run_cfg.t -> Decoder.suite -> Instance.t list -> verdict
 (** For every instance whose graph is {e not} 2-colorable, no labeling
-    over the adversary alphabet may be unanimously accepted. [jobs > 1]
-    checks the instances on the {!Lcp_engine.Pool} domain pool; the
-    verdict and its witness are independent of [jobs]. *)
+    over the adversary alphabet may be unanimously accepted. With a
+    [cfg] whose [jobs > 1] the instances are checked on the
+    {!Lcp_engine.Pool} domain pool; the verdict and its witness are
+    independent of [jobs]. No [cfg] means sequential and
+    uninstrumented; with one, partial labelings examined feed its
+    [labelings_checked] counter. *)
 
 val strong_soundness_exhaustive :
-  ?jobs:int -> Decoder.suite -> k:int -> Instance.t list -> verdict
+  ?cfg:Run_cfg.t -> Decoder.suite -> k:int -> Instance.t list -> verdict
 (** Strong (promise) soundness, literally: over {e all} labelings of
     {e each} given instance, the accepting-node-induced subgraph must be
     k-colorable. Cost is |alphabet|^n per instance (with acceptance
     pruning not applicable — every labeling must be inspected), so keep
-    instances small. [jobs] parallelizes over instances as in
-    {!soundness_exhaustive}. *)
+    instances small. [cfg] parallelizes over instances as in
+    {!soundness_exhaustive}; complete labelings inspected feed its
+    [labelings_checked] counter. *)
 
 val soundness_sweep :
-  ?jobs:int ->
+  ?cfg:Run_cfg.t ->
   ?early_exit:bool ->
   Decoder.suite ->
   n:int ->
@@ -48,7 +52,9 @@ val soundness_sweep :
     {!Lcp_engine.Sweep}), must admit no unanimously accepted labeling.
     A counterexample carries the accepted instance. [early_exit]
     cancels remaining classes once a violation is found (the returned
-    counterexample is still the minimal one). *)
+    counterexample is still the minimal one). [cfg] supplies the domain
+    count and collects the sweep's spans and counters, including
+    [labelings_checked] from the per-class certificate searches. *)
 
 val verdict_of_sweep : Instance.t Lcp_engine.Sweep.summary -> verdict
 (** Collapse a {!soundness_sweep} summary into a {!verdict}. *)

@@ -1,7 +1,11 @@
 open Lcp_graph
 open Lcp_local
 
-let seed () = Random.State.make [| 20250706 |]
+(* Every experiment takes one Run_cfg: its [jobs] drives the engine
+   pool, [heavy] selects the expensive variants, [seed] feeds the
+   per-experiment RNG ([Run_cfg.rng cfg] restarts the stream, so each
+   experiment sees the historical fixed-seed sequence), and its metrics
+   registry collects the battery's counters and spans. *)
 
 let bool_row label ~expected_true actual =
   Report.check label (actual = expected_true)
@@ -22,7 +26,8 @@ let verdict_row label ~expect_pass verdict =
 (* ------------------------------------------------------------------ *)
 (* E1: r-forgetfulness                                                  *)
 
-let e1_forgetful () =
+let e1_forgetful ?(cfg = Run_cfg.default) () =
+  ignore cfg;
   let families =
     [
       ("cycle C9", Builders.cycle 9, true);
@@ -70,7 +75,8 @@ let e1_forgetful () =
 (* ------------------------------------------------------------------ *)
 (* E2: views and compatibility                                          *)
 
-let e2_views () =
+let e2_views ?(cfg = Run_cfg.default) () =
+  ignore cfg;
   (* the diamond: C4 plus a chord; at r = 1 the chord between two
      distance-1 nodes is invisible from the opposite node *)
   let diamond = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0); (1, 3) ] in
@@ -126,20 +132,21 @@ let e2_views () =
    same orders share one enumeration per process. The representatives
    (smallest edge mask per class) coincide with the ones the historical
    [Enumerate.connected_up_to_iso] picked. *)
-let classes ?jobs n = Lcp_engine.Sweep.iso_classes ?jobs n
+let classes ?cfg n = Lcp_engine.Sweep.iso_classes ?cfg n
 
-let min_degree_one_family ?jobs ~max_n () =
+let min_degree_one_family ?cfg ~max_n () =
   let graphs = ref [] in
   for n = 2 to max_n do
-    graphs := classes ?jobs n @ !graphs
+    graphs := classes ?cfg n @ !graphs
   done;
   List.filter (fun g -> Graph.min_degree g = 1) !graphs
 
-let e3_degree_one ?(heavy = true) ?jobs () =
+let e3_degree_one ?(cfg = Run_cfg.default) () =
+  let heavy = cfg.Run_cfg.heavy in
   let suite = D_degree_one.suite in
-  let rng = seed () in
+  let rng = Run_cfg.rng cfg in
   let yes_family =
-    min_degree_one_family ?jobs ~max_n:(if heavy then 6 else 5) ()
+    min_degree_one_family ~cfg ~max_n:(if heavy then 6 else 5) ()
     |> Enumerate.bipartite
     |> List.map Instance.make
   in
@@ -154,7 +161,7 @@ let e3_degree_one ?(heavy = true) ?jobs () =
        engine: n = 6 under [heavy] widens the regime the seed code
        (n = 5 list pipeline) could reach *)
     let sweep =
-      Checker.soundness_sweep ?jobs suite ~n:(if heavy then 6 else 5)
+      Checker.soundness_sweep ~cfg suite ~n:(if heavy then 6 else 5)
     in
     verdict_row
       (Printf.sprintf "soundness (n=%d, engine sweep over %d no-classes)"
@@ -164,8 +171,8 @@ let e3_degree_one ?(heavy = true) ?jobs () =
       (Checker.verdict_of_sweep sweep)
   in
   let strong_family =
-    (if heavy then List.concat_map (classes ?jobs) [ 2; 3; 4; 5 ]
-     else List.concat_map (classes ?jobs) [ 2; 3; 4 ])
+    (if heavy then List.concat_map (classes ~cfg) [ 2; 3; 4; 5 ]
+     else List.concat_map (classes ~cfg) [ 2; 3; 4 ])
     |> List.map Instance.make
   in
   let strong =
@@ -173,7 +180,7 @@ let e3_degree_one ?(heavy = true) ?jobs () =
       (Printf.sprintf "strong soundness (all labelings, %d graphs)"
          (List.length strong_family))
       ~expect_pass:true
-      (Checker.strong_soundness_exhaustive ?jobs suite ~k:2 strong_family)
+      (Checker.strong_soundness_exhaustive ~cfg suite ~k:2 strong_family)
   in
   let anonymity =
     verdict_row "anonymity" ~expect_pass:true
@@ -183,8 +190,8 @@ let e3_degree_one ?(heavy = true) ?jobs () =
   (* hiding: the full V(D, 4) over the min-degree-1 class *)
   let fam4 =
     Neighborhood.exhaustive_family suite
-      ~graphs:(min_degree_one_family ~max_n:4 ())
-      ~ports:`All ()
+      ~graphs:(min_degree_one_family ~cfg ~max_n:4 ())
+      ~ports:`All ~cfg ()
   in
   let hiding_verdict = Hiding.check ~k:2 suite.Decoder.dec fam4 in
   let hiding =
@@ -205,9 +212,10 @@ let e3_degree_one ?(heavy = true) ?jobs () =
 (* ------------------------------------------------------------------ *)
 (* E4: even-cycle decoder (Lemma 4.2, Figs. 5-6)                        *)
 
-let e4_even_cycle ?(heavy = true) ?jobs () =
+let e4_even_cycle ?(cfg = Run_cfg.default) () =
+  let heavy = cfg.Run_cfg.heavy in
   let suite = D_even_cycle.suite in
-  let rng = seed () in
+  let rng = Run_cfg.rng cfg in
   let yes_family =
     List.map (fun n -> Instance.make (Builders.cycle n)) [ 4; 6; 8; 10 ]
   in
@@ -221,7 +229,7 @@ let e4_even_cycle ?(heavy = true) ?jobs () =
   in
   let soundness =
     verdict_row "soundness (odd cycles, exhaustive)" ~expect_pass:true
-      (Checker.soundness_exhaustive ?jobs suite no_family)
+      (Checker.soundness_exhaustive ~cfg suite no_family)
   in
   let strong_family =
     List.map Instance.make
@@ -230,7 +238,7 @@ let e4_even_cycle ?(heavy = true) ?jobs () =
   in
   let strong =
     verdict_row "strong soundness (all labelings)" ~expect_pass:true
-      (Checker.strong_soundness_exhaustive ?jobs suite ~k:2 strong_family)
+      (Checker.strong_soundness_exhaustive ~cfg suite ~k:2 strong_family)
   in
   let anonymity =
     verdict_row "anonymity" ~expect_pass:true
@@ -239,7 +247,7 @@ let e4_even_cycle ?(heavy = true) ?jobs () =
   in
   let fam =
     Neighborhood.exhaustive_family suite ~graphs:[ Builders.cycle 6 ] ~ports:`All
-      ?jobs ()
+      ~cfg ()
   in
   let nbhd = Neighborhood.build suite.Decoder.dec fam in
   let hiding =
@@ -290,9 +298,9 @@ let e4_even_cycle ?(heavy = true) ?jobs () =
 (* ------------------------------------------------------------------ *)
 (* E5: the union decoder (Theorem 1.1)                                  *)
 
-let e5_union () =
+let e5_union ?(cfg = Run_cfg.default) () =
   let suite = D_union.suite in
-  let rng = seed () in
+  let rng = Run_cfg.rng cfg in
   let yes_family =
     List.map Instance.make
       [ Builders.path 5; Builders.star 4; Builders.caterpillar 3 1;
@@ -328,7 +336,7 @@ let e5_union () =
   in
   let hiding_family =
     Neighborhood.exhaustive_family D_union.suite
-      ~graphs:(min_degree_one_family ~max_n:4 ()) ~ports:`All ()
+      ~graphs:(min_degree_one_family ~cfg ~max_n:4 ()) ~ports:`All ~cfg ()
   in
   let hiding =
     match Hiding.check ~k:2 suite.Decoder.dec hiding_family with
@@ -355,9 +363,10 @@ let spider legs len =
   done;
   !g
 
-let e6_shatter ?(heavy = true) ?jobs () =
+let e6_shatter ?(cfg = Run_cfg.default) () =
+  let heavy = cfg.Run_cfg.heavy in
   let suite = D_shatter.suite in
-  let rng = seed () in
+  let rng = Run_cfg.rng cfg in
   let yes_family =
     List.map Instance.make
       [ Builders.path 5; Builders.path 8; spider 3 2; spider 3 3;
@@ -389,12 +398,12 @@ let e6_shatter ?(heavy = true) ?jobs () =
   let strong_exh =
     if heavy then
       verdict_row "strong soundness (all labelings, n=4 graphs)" ~expect_pass:true
-        (Checker.strong_soundness_exhaustive ?jobs suite ~k:2
+        (Checker.strong_soundness_exhaustive ~cfg suite ~k:2
            (List.map Instance.make
               [ Builders.star 3; Builders.path 4; Builders.cycle 4; Builders.cycle 3 ]))
     else
       verdict_row "strong soundness (all labelings, n=3)" ~expect_pass:true
-        (Checker.strong_soundness_exhaustive ?jobs suite ~k:2
+        (Checker.strong_soundness_exhaustive ~cfg suite ~k:2
            (List.map Instance.make [ Builders.cycle 3; Builders.path 3 ]))
   in
   let strong_rand =
@@ -485,9 +494,10 @@ let watermelon_path_instance ~ids ~flip =
   in
   Instance.with_labels inst lab
 
-let e7_watermelon ?(heavy = true) ?jobs () =
+let e7_watermelon ?(cfg = Run_cfg.default) () =
+  let heavy = cfg.Run_cfg.heavy in
   let suite = D_watermelon.suite in
-  let rng = seed () in
+  let rng = Run_cfg.rng cfg in
   let yes_family =
     List.map
       (fun ls -> Instance.make (Builders.watermelon ls))
@@ -505,12 +515,12 @@ let e7_watermelon ?(heavy = true) ?jobs () =
   let strong_exh =
     if heavy then
       verdict_row "strong soundness (all labelings, C4/C3/P4)" ~expect_pass:true
-        (Checker.strong_soundness_exhaustive ?jobs suite ~k:2
+        (Checker.strong_soundness_exhaustive ~cfg suite ~k:2
            (List.map Instance.make
               [ Builders.watermelon [ 2; 2 ]; Builders.cycle 3; Builders.path 4 ]))
     else
       verdict_row "strong soundness (all labelings, C3)" ~expect_pass:true
-        (Checker.strong_soundness_exhaustive ?jobs suite ~k:2
+        (Checker.strong_soundness_exhaustive ~cfg suite ~k:2
            [ Instance.make (Builders.cycle 3) ])
   in
   let strong_rand =
@@ -547,11 +557,13 @@ let e7_watermelon ?(heavy = true) ?jobs () =
           acc := Instance.with_labels base lab :: !acc);
       !acc
     in
-    match jobs with
-    | None | Some 1 -> List.concat_map expand units
-    | Some jobs ->
+    match cfg.Run_cfg.jobs with
+    | 1 -> List.concat_map expand units
+    | jobs ->
         List.concat
-          (Array.to_list (Lcp_engine.Pool.map ~jobs expand (Array.of_list units)))
+          (Array.to_list
+             (Lcp_engine.Pool.map ~metrics:cfg.Run_cfg.metrics ~jobs expand
+                (Array.of_list units)))
   in
   let hand_picked =
     List.map
@@ -582,7 +594,7 @@ let e7_watermelon ?(heavy = true) ?jobs () =
 (* ------------------------------------------------------------------ *)
 (* E8: Lemma 3.2, extraction direction                                  *)
 
-let e8_extraction () =
+let e8_extraction ?(cfg = Run_cfg.default) () =
   let trivial = D_trivial.suite ~k:2 in
   let graphs =
     Enumerate.connected_up_to_iso 4 @ Enumerate.connected_up_to_iso 3
@@ -590,7 +602,7 @@ let e8_extraction () =
   in
   let fam =
     Neighborhood.exhaustive_family trivial ~graphs ~ports:`All
-      ~ids:(`Canonical_bound 8) ()
+      ~ids:(`Canonical_bound 8) ~cfg ()
   in
   let verdict = Hiding.check ~k:2 trivial.Decoder.dec fam in
   let colorable_row =
@@ -653,7 +665,7 @@ let e8_extraction () =
     let d1_hiding =
       Hiding.is_hiding_on ~k:2 D_degree_one.decoder
         (Neighborhood.exhaustive_family D_degree_one.suite
-           ~graphs:(min_degree_one_family ~max_n:4 ()) ~ports:`All ())
+           ~graphs:(min_degree_one_family ~cfg ~max_n:4 ()) ~ports:`All ~cfg ())
     in
     Report.check "contrast: degree-one decoder stays hiding" d1_hiding
       ~expected:"hiding" ~actual:(string_of_bool d1_hiding)
@@ -675,7 +687,7 @@ let rotation_instances () =
       let ids = Array.init 5 (fun v -> 1 + ((k + v) mod 5)) in
       Instance.make g ~ids:(Ident.of_array ~bound:5 ids))
 
-let e9_realizability () =
+let e9_realizability ?(cfg = Run_cfg.default) () =
   let insts = rotation_instances () in
   let nbhd = Neighborhood.build accept_all insts in
   let odd = Neighborhood.odd_cycle nbhd in
@@ -740,7 +752,7 @@ let e9_realizability () =
         let suite = D_degree_one.suite in
         let fam =
           Neighborhood.exhaustive_family suite
-            ~graphs:(min_degree_one_family ~max_n:4 ()) ()
+            ~graphs:(min_degree_one_family ~cfg ~max_n:4 ()) ~cfg ()
         in
         let nb = Neighborhood.build ~mode:Neighborhood.Identified suite.Decoder.dec fam in
         match Neighborhood.odd_cycle nb with
@@ -770,7 +782,8 @@ let e9_realizability () =
 (* ------------------------------------------------------------------ *)
 (* E10: walk surgery (Lemmas 5.4-5.5)                                   *)
 
-let e10_lower_bound () =
+let e10_lower_bound ?(cfg = Run_cfg.default) () =
+  ignore cfg;
   (* theta(4,4,4) is bipartite, 1-forgetful, min degree 2 and carries
      two cycles: precisely the Theorem 1.5 hypothesis class *)
   let theta = Builders.theta 4 4 4 in
@@ -899,7 +912,7 @@ let quirky =
   Decoder.make ~name:"quirky" ~radius:1 ~anonymous:false (fun view ->
       View.center_id view mod 5 = 0 || trivial.Decoder.accepts view)
 
-let e11_ramsey () =
+let e11_ramsey ?(cfg = Run_cfg.default) () =
   let ramsey_rows =
     [
       Report.check "R(3,3) = 6" (Ramsey.ramsey_number ~s:3 ~t:3 = 6)
@@ -933,7 +946,7 @@ let e11_ramsey () =
     | None -> []
     | Some ids ->
         let d' = Ramsey.order_invariant_decoder quirky ~mono:ids in
-        let rng = seed () in
+        let rng = Run_cfg.rng cfg in
         let test_instances = [ good; bad ] in
         let oi =
           Checker.is_pass
@@ -959,7 +972,8 @@ let e11_ramsey () =
 (* ------------------------------------------------------------------ *)
 (* E12: certificate sizes                                               *)
 
-let e12_cert_sizes () =
+let e12_cert_sizes ?(cfg = Run_cfg.default) () =
+  ignore cfg;
   let measure suite inst =
     match Decoder.certify suite inst with
     | Some c -> Labeling.max_bits c.Instance.labels
@@ -1025,8 +1039,8 @@ let e12_cert_sizes () =
 (* ------------------------------------------------------------------ *)
 (* E13: synchronous simulator                                           *)
 
-let e13_sync () =
-  let rng = seed () in
+let e13_sync ?(cfg = Run_cfg.default) () =
+  let rng = Run_cfg.rng cfg in
   let cases =
     List.init 6 (fun i ->
         let n = 6 + i in
@@ -1076,8 +1090,8 @@ let e13_sync () =
 (* ------------------------------------------------------------------ *)
 (* E14: the promise-free separation motivation (Sec. 1) in SLOCAL       *)
 
-let e14_slocal () =
-  let rng = seed () in
+let e14_slocal ?(cfg = Run_cfg.default) () =
+  let rng = Run_cfg.rng cfg in
   (* (a) the online-LOCAL promise: under strongly sound certification,
      adversarial labelings always leave a bipartite accepted region *)
   let promise_row =
@@ -1103,7 +1117,7 @@ let e14_slocal () =
   in
   let fam =
     Neighborhood.exhaustive_family trivial ~graphs ~ports:`All
-      ~ids:(`Canonical_bound 8) ()
+      ~ids:(`Canonical_bound 8) ~cfg ()
   in
   let reveal_row =
     match Extractor.of_verdict (Hiding.check ~k:2 trivial.Decoder.dec fam) with
@@ -1128,7 +1142,7 @@ let e14_slocal () =
      fails on some processing order while 3 colors always suffice *)
   let cyc_fam =
     Neighborhood.exhaustive_family D_even_cycle.suite ~graphs:[ Builders.cycle 6 ]
-      ~ports:`All ()
+      ~ports:`All ~cfg ()
   in
   let hiding_row =
     let stranded = Hiding.is_hiding_on ~k:2 D_even_cycle.decoder cyc_fam in
@@ -1183,12 +1197,12 @@ let e14_slocal () =
 (* ------------------------------------------------------------------ *)
 (* E15: quantified hiding (Sec. 2.4 future work)                        *)
 
-let e15_quantified () =
+let e15_quantified ?(cfg = Run_cfg.default) () =
   (* even-cycle decoder on C4: every view lies on odd cycles, so even
      the best extractor must fail on a constant fraction of nodes *)
   let fam4 =
     Neighborhood.exhaustive_family D_even_cycle.suite ~graphs:[ Builders.cycle 4 ]
-      ~ports:`All ()
+      ~ports:`All ~cfg ()
   in
   let nbhd4 = Neighborhood.build D_even_cycle.decoder fam4 in
   let res4 = Quantified.best_extractor ~k:2 nbhd4 fam4 in
@@ -1206,8 +1220,8 @@ let e15_quantified () =
      extraction succeeds on all but a vanishing share of nodes *)
   let d1_fam =
     Neighborhood.exhaustive_family D_degree_one.suite
-      ~graphs:(min_degree_one_family ~max_n:4 ())
-      ()
+      ~graphs:(min_degree_one_family ~cfg ~max_n:4 ())
+      ~cfg ()
   in
   let d1_nbhd = Neighborhood.build D_degree_one.decoder d1_fam in
   let res1 = Quantified.best_extractor ~k:2 d1_nbhd d1_fam in
@@ -1240,12 +1254,12 @@ let e15_quantified () =
 (* ------------------------------------------------------------------ *)
 (* E16: the k-coloring generalization of Lemma 4.1                      *)
 
-let e16_hidden_leaf () =
-  let rng = seed () in
+let e16_hidden_leaf ?(cfg = Run_cfg.default) () =
+  let rng = Run_cfg.rng cfg in
   let rows_for ~k =
     let suite = D_hidden_leaf.suite ~k in
     let yes_family =
-      min_degree_one_family ~max_n:5 ()
+      min_degree_one_family ~cfg ~max_n:5 ()
       |> List.filter (fun g -> Coloring.is_k_colorable g ~k)
       |> List.map Instance.make
     in
@@ -1304,9 +1318,9 @@ let e16_hidden_leaf () =
        (the constructive general-k direction of Lemma 3.2). *)
     let fam =
       Neighborhood.exhaustive_family suite
-        ~graphs:(min_degree_one_family ~max_n:4 ()
+        ~graphs:(min_degree_one_family ~cfg ~max_n:4 ()
                  |> List.filter (fun g -> Coloring.is_k_colorable g ~k))
-        ()
+        ~cfg ()
     in
     let yes g = Coloring.is_k_colorable g ~k in
     let hiding =
@@ -1355,7 +1369,7 @@ let e16_hidden_leaf () =
 (* minimal-ish? No 1-bit port-oblivious anonymous decoder is a strong   *)
 (* and hiding LCP on even cycles.                                       *)
 
-let e17_decoder_space () =
+let e17_decoder_space ?(cfg = Run_cfg.default) () =
   (* a port-oblivious 1-bit decoder is determined by its accept-set over
      the 6 view classes (own bit, multiset of the two neighbor bits) *)
   let class_of view =
@@ -1414,7 +1428,7 @@ let e17_decoder_space () =
     let fam =
       Neighborhood.exhaustive_family suite
         ~graphs:[ Builders.cycle 4; Builders.cycle 6 ]
-        ~ports:`All ()
+        ~ports:`All ~cfg ()
     in
     fam <> [] && Hiding.is_hiding_on ~k:2 dec fam
   in
@@ -1450,8 +1464,8 @@ let e17_decoder_space () =
 (* ------------------------------------------------------------------ *)
 (* E18: resilient labeling (Sec. 1.2 related work)                      *)
 
-let e18_resilient () =
-  let rng = seed () in
+let e18_resilient ?(cfg = Run_cfg.default) () =
+  let rng = Run_cfg.rng cfg in
   let base = D_trivial.suite ~k:2 in
   let res = Resilient.wrap base in
   let graphs = [ Builders.path 6; Builders.cycle 6; Builders.grid 3 3 ] in
@@ -1521,7 +1535,7 @@ let e18_resilient () =
 (* ------------------------------------------------------------------ *)
 (* E19: hiding against stronger extractors                              *)
 
-let e19_extractor_radius () =
+let e19_extractor_radius ?(cfg = Run_cfg.default) () =
   (* Hiding (Sec. 2.4) pits an r-round decoder against r-round
      extractors of the same kind (anonymous decoders against anonymous
      extractors). Handing the extractor a LARGER radius r' asks how
@@ -1540,7 +1554,7 @@ let e19_extractor_radius () =
        paper defining anonymous hiding against anonymous extractors. *)
   let cyc_fam =
     Neighborhood.exhaustive_family D_even_cycle.suite
-      ~graphs:[ Builders.cycle 6 ] ~ports:`All ()
+      ~graphs:[ Builders.cycle 6 ] ~ports:`All ~cfg ()
   in
   let cyc_rows =
     List.map
@@ -1560,8 +1574,8 @@ let e19_extractor_radius () =
   in
   let d1_fam =
     Neighborhood.exhaustive_family D_degree_one.suite
-      ~graphs:(min_degree_one_family ~max_n:4 ())
-      ()
+      ~graphs:(min_degree_one_family ~cfg ~max_n:4 ())
+      ~cfg ()
   in
   let d1_hiding =
     let nbhd = Neighborhood.build ~view_radius:1 D_degree_one.decoder d1_fam in
@@ -1603,14 +1617,15 @@ let e19_extractor_radius () =
 (* ------------------------------------------------------------------ *)
 (* E20: the round/size trade-off                                        *)
 
-let e20_edge_bit ?(heavy = true) () =
+let e20_edge_bit ?(cfg = Run_cfg.default) () =
+  let heavy = cfg.Run_cfg.heavy in
   (* E17 rules out 1-bit one-round decoders; D_edge_bit spends a second
      round instead of Lemma 4.2's six bits: each node publishes only the
      color of its port-1 edge, and radius-2 verifiers solve their local
      alternation systems. The full battery passes: a strong and hiding
      LCP for 2-col on even cycles with single-bit certificates. *)
   let suite = D_edge_bit.suite in
-  let rng = seed () in
+  let rng = Run_cfg.rng cfg in
   let yes_family =
     List.map (fun n -> Instance.make (Builders.cycle n)) [ 4; 6; 8; 10 ]
   in
@@ -1671,7 +1686,7 @@ let e20_edge_bit ?(heavy = true) () =
   let hiding =
     let fam =
       Neighborhood.exhaustive_family suite ~graphs:[ Builders.cycle 6 ]
-        ~ports:`All ()
+        ~ports:`All ~cfg ()
     in
     let nbhd = Neighborhood.build suite.Decoder.dec fam in
     let hiding = not (Neighborhood.is_k_colorable nbhd ~k:2) in
@@ -1696,26 +1711,44 @@ let e20_edge_bit ?(heavy = true) () =
     title = "round/size trade-off: a 1-bit 2-round strong and hiding LCP on rings";
     rows = [ completeness; soundness_all_ports; strong; anonymity; hiding; size_row ] }
 
-let run_all ?(heavy = true) ?jobs () =
+let all =
   [
-    e1_forgetful ();
-    e2_views ();
-    e3_degree_one ~heavy ?jobs ();
-    e4_even_cycle ~heavy ?jobs ();
-    e5_union ();
-    e6_shatter ~heavy ?jobs ();
-    e7_watermelon ~heavy ?jobs ();
-    e8_extraction ();
-    e9_realizability ();
-    e10_lower_bound ();
-    e11_ramsey ();
-    e12_cert_sizes ();
-    e13_sync ();
-    e14_slocal ();
-    e15_quantified ();
-    e16_hidden_leaf ();
-    e17_decoder_space ();
-    e18_resilient ();
-    e19_extractor_radius ();
-    e20_edge_bit ~heavy ();
+    ("E1", e1_forgetful);
+    ("E2", e2_views);
+    ("E3", e3_degree_one);
+    ("E4", e4_even_cycle);
+    ("E5", e5_union);
+    ("E6", e6_shatter);
+    ("E7", e7_watermelon);
+    ("E8", e8_extraction);
+    ("E9", e9_realizability);
+    ("E10", e10_lower_bound);
+    ("E11", e11_ramsey);
+    ("E12", e12_cert_sizes);
+    ("E13", e13_sync);
+    ("E14", e14_slocal);
+    ("E15", e15_quantified);
+    ("E16", e16_hidden_leaf);
+    ("E17", e17_decoder_space);
+    ("E18", e18_resilient);
+    ("E19", e19_extractor_radius);
+    ("E20", e20_edge_bit);
   ]
+
+let run_all ?(cfg = Run_cfg.default) () =
+  List.filter_map
+    (fun (id, experiment) ->
+      if Run_cfg.expired cfg then begin
+        Run_cfg.progress cfg (id ^ " skipped: deadline expired");
+        None
+      end
+      else begin
+        let r =
+          Run_cfg.span cfg ("experiments/" ^ id) (fun () ->
+              experiment ?cfg:(Some cfg) ())
+        in
+        Run_cfg.count cfg "experiments_run";
+        Run_cfg.progress cfg (Report.summary_line r);
+        Some r
+      end)
+    all

@@ -1,259 +1,5 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
-
-let rec render ~indent ~level buf t =
-  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
-  let newline () = if indent then Buffer.add_char buf '\n' in
-  match t with
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (string_of_bool b)
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | String s -> Buffer.add_string buf (escape_string s)
-  | List [] -> Buffer.add_string buf "[]"
-  | List items ->
-      Buffer.add_char buf '[';
-      newline ();
-      List.iteri
-        (fun i item ->
-          if i > 0 then begin
-            Buffer.add_char buf ',';
-            newline ()
-          end;
-          pad (level + 1);
-          render ~indent ~level:(level + 1) buf item)
-        items;
-      newline ();
-      pad level;
-      Buffer.add_char buf ']'
-  | Obj [] -> Buffer.add_string buf "{}"
-  | Obj fields ->
-      Buffer.add_char buf '{';
-      newline ();
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then begin
-            Buffer.add_char buf ',';
-            newline ()
-          end;
-          pad (level + 1);
-          Buffer.add_string buf (escape_string k);
-          Buffer.add_char buf ':';
-          if indent then Buffer.add_char buf ' ';
-          render ~indent ~level:(level + 1) buf v)
-        fields;
-      newline ();
-      pad level;
-      Buffer.add_char buf '}'
-
-let to_string t =
-  let buf = Buffer.create 256 in
-  render ~indent:false ~level:0 buf t;
-  Buffer.contents buf
-
-let to_string_pretty t =
-  let buf = Buffer.create 256 in
-  render ~indent:true ~level:0 buf t;
-  Buffer.contents buf
-
-(* ------------------------------------------------------------------ *)
-(* parser                                                              *)
-
-exception Parse_error of int * string
-
-let of_string input =
-  let len = String.length input in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (!pos, msg)) in
-  let peek () = if !pos < len then Some input.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | Some c' -> fail (Printf.sprintf "expected %c, found %c" c c')
-    | None -> fail (Printf.sprintf "expected %c, found end of input" c)
-  in
-  let literal word value =
-    if !pos + String.length word <= len && String.sub input !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      value
-    end
-    else fail (Printf.sprintf "invalid literal (expected %s)" word)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
-          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
-          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
-          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
-          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
-          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
-          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
-          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
-          | Some 'u' ->
-              advance ();
-              if !pos + 4 > len then fail "truncated unicode escape";
-              let hex = String.sub input !pos 4 in
-              (match int_of_string_opt ("0x" ^ hex) with
-              | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
-              | Some _ -> fail "non-ascii unicode escapes unsupported"
-              | None -> fail "bad unicode escape");
-              pos := !pos + 4;
-              go ()
-          | _ -> fail "bad escape")
-      | Some c ->
-          Buffer.add_char buf c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_int () =
-    let start = !pos in
-    if peek () = Some '-' then advance ();
-    let rec digits () =
-      match peek () with
-      | Some ('0' .. '9') ->
-          advance ();
-          digits ()
-      | _ -> ()
-    in
-    digits ();
-    (match peek () with
-    | Some ('.' | 'e' | 'E') -> fail "only integers are supported"
-    | _ -> ());
-    match int_of_string_opt (String.sub input start (!pos - start)) with
-    | Some i -> i
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let rec fields acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let value = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                fields ((key, value) :: acc)
-            | Some '}' ->
-                advance ();
-                List.rev ((key, value) :: acc)
-            | _ -> fail "expected , or } in object"
-          in
-          Obj (fields [])
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          List []
-        end
-        else begin
-          let rec items acc =
-            let value = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                items (value :: acc)
-            | Some ']' ->
-                advance ();
-                List.rev (value :: acc)
-            | _ -> fail "expected , or ] in array"
-          in
-          List (items [])
-        end
-    | Some '"' -> String (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some ('-' | '0' .. '9') -> Int (parse_int ())
-    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
-  in
-  try
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> len then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
-    else Ok v
-  with Parse_error (p, msg) -> Error (Printf.sprintf "at offset %d: %s" p msg)
-
-(* ------------------------------------------------------------------ *)
-(* accessors                                                           *)
-
-let member key = function
-  | Obj fields -> (
-      match List.assoc_opt key fields with
-      | Some v -> Ok v
-      | None -> Error (Printf.sprintf "missing field %S" key))
-  | _ -> Error (Printf.sprintf "expected an object with field %S" key)
-
-let to_int = function Int i -> Ok i | _ -> Error "expected an integer"
-let to_str = function String s -> Ok s | _ -> Error "expected a string"
-let to_list = function List l -> Ok l | _ -> Error "expected an array"
-let to_bool = function Bool b -> Ok b | _ -> Error "expected a boolean"
-
-let ( let* ) = Result.bind
-
-let map_m f l =
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | x :: rest -> (
-        match f x with
-        | Ok y -> go (y :: acc) rest
-        | Error e -> Error e)
-  in
-  go [] l
+(* Back-compat shim: Json moved into Lcp_obs so the engine layer can
+   serialize metrics without depending on core. [Lcp.Json] keeps
+   working for every existing caller; the inferred signature carries
+   the type equations with [Lcp_obs.Json]. *)
+include Lcp_obs.Json

@@ -85,7 +85,7 @@ val exhaustive_family :
   graphs:Graph.t list ->
   ?ports:[ `Canonical | `All ] ->
   ?ids:[ `Canonical | `Canonical_bound of int | `All of int ] ->
-  ?jobs:int ->
+  ?cfg:Run_cfg.t ->
   unit ->
   Instance.t list
 (** All unanimously-accepted labeled yes-instances over the given
@@ -94,9 +94,10 @@ val exhaustive_family :
     injective assignments into [1..bound]; [`Canonical_bound b] pins
     the advertised N so views from graphs of different orders stay
     comparable) and {e all} accepted labelings over the suite's
-    adversary alphabet. Exponential — tiny graphs only. [jobs > 1]
-    expands the (graph, ports, ids) choices on the {!Lcp_engine.Pool}
-    domain pool; the family and its order are independent of [jobs]. *)
+    adversary alphabet. Exponential — tiny graphs only. A [cfg] with
+    [jobs > 1] expands the (graph, ports, ids) choices on the
+    {!Lcp_engine.Pool} domain pool; no [cfg] means sequential. The
+    family and its order are independent of [jobs]. *)
 
 val to_dot : t -> string
 

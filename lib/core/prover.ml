@@ -13,11 +13,12 @@ let coverage_schedule g ~r =
   done;
   newly_covered
 
-let iter_labelings_pruned dec ~alphabet (inst : Instance.t) ~reject_covered f =
+let iter_pruned ?tally dec ~alphabet (inst : Instance.t) ~reject_covered f =
   let g = inst.Instance.graph in
   let r = dec.Decoder.radius in
   let schedule = coverage_schedule g ~r in
   let prune v partial =
+    (match tally with Some t -> incr t | None -> ());
     let candidate = Instance.with_labels inst (Array.copy partial) in
     List.exists
       (fun u ->
@@ -27,15 +28,26 @@ let iter_labelings_pruned dec ~alphabet (inst : Instance.t) ~reject_covered f =
   in
   Labeling.iter_backtracking ~alphabet g ~prune (fun lab -> f (Array.copy lab))
 
+let iter_labelings_pruned dec ~alphabet inst ~reject_covered f =
+  iter_pruned dec ~alphabet inst ~reject_covered f
+
 let iter_accepted dec ~alphabet inst f =
   iter_labelings_pruned dec ~alphabet inst ~reject_covered:(fun _ -> true) f
 
-let find_accepted dec ~alphabet inst =
+let search_accepted dec ~alphabet inst =
+  let tally = ref 0 in
   let exception Found of Labeling.t in
-  try
-    iter_accepted dec ~alphabet inst (fun lab -> raise (Found lab));
-    None
-  with Found lab -> Some lab
+  let witness =
+    try
+      iter_pruned ~tally dec ~alphabet inst
+        ~reject_covered:(fun _ -> true)
+        (fun lab -> raise (Found lab));
+      None
+    with Found lab -> Some lab
+  in
+  (witness, !tally)
+
+let find_accepted dec ~alphabet inst = fst (search_accepted dec ~alphabet inst)
 
 let count_accepted dec ~alphabet inst =
   let k = ref 0 in

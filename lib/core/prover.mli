@@ -17,6 +17,14 @@ val find_accepted :
     is cut as soon as some node whose entire radius-r ball is already
     labeled rejects. *)
 
+val search_accepted :
+  Decoder.t -> alphabet:string list -> Instance.t -> Labeling.t option * int
+(** {!find_accepted} plus a work tally: the number of partial labelings
+    the backtracking search examined (prune invocations) before
+    accepting or exhausting the space. The search is sequential per
+    instance, so the tally is deterministic — it feeds the engine's
+    [labelings_checked] counter. *)
+
 val iter_accepted :
   Decoder.t -> alphabet:string list -> Instance.t -> (Labeling.t -> unit) -> unit
 (** All unanimously accepted labelings (the callback receives a fresh

@@ -42,3 +42,32 @@ let to_markdown t =
 
 let summary_line t =
   Printf.sprintf "%-4s %-58s %s" t.id t.title (if passed t then "PASS" else "FAIL")
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("label", Json.String r.label);
+      ("measured", Json.String r.value);
+      ("expected", Json.String r.expected);
+      ("ok", Json.Bool r.ok);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("id", Json.String t.id);
+      ("title", Json.String t.title);
+      ("passed", Json.Bool (passed t));
+      ("rows", Json.List (List.map row_to_json t.rows));
+    ]
+
+let battery_schema_version = 1
+
+let battery_to_json reports =
+  Json.Obj
+    [
+      ("schema_version", Json.Int battery_schema_version);
+      ("total", Json.Int (List.length reports));
+      ("passed", Json.Int (List.length (List.filter passed reports)));
+      ("reports", Json.List (List.map to_json reports));
+    ]

@@ -30,3 +30,14 @@ val to_markdown : t -> string
 (** GitHub-flavored table for EXPERIMENTS.md. *)
 
 val summary_line : t -> string
+
+val to_json : t -> Json.t
+(** [{ "id"; "title"; "passed"; "rows": [{ "label"; "measured";
+    "expected"; "ok" }] }]. *)
+
+val battery_schema_version : int
+
+val battery_to_json : t list -> Json.t
+(** The whole battery as one schema-versioned document:
+    [{ "schema_version"; "total"; "passed"; "reports" }] — the payload
+    of [lcp experiments --json]. *)

@@ -1,0 +1,3 @@
+(* Re-export so core callers write [Run_cfg.make] without a direct
+   Lcp_obs dependency (and without colliding with Lcp_graph.Metrics). *)
+include Lcp_obs.Run_cfg

@@ -1,11 +1,11 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
-(* Run [worker] (which reports its exception instead of raising) on
-   this domain plus [extra] spawned domains; join everything, then
-   re-raise the first exception observed. *)
+(* Run [worker w] (which reports its exception instead of raising) on
+   this domain (index 0) plus [extra] spawned domains (indices 1..);
+   join everything, then re-raise the first exception observed. *)
 let with_domains ~extra worker =
-  let spawned = List.init extra (fun _ -> Domain.spawn worker) in
-  let main_exn = worker () in
+  let spawned = List.init extra (fun w -> Domain.spawn (fun () -> worker (w + 1))) in
+  let main_exn = worker 0 in
   let first_exn =
     List.fold_left
       (fun acc d ->
@@ -15,36 +15,61 @@ let with_domains ~extra worker =
   in
   match first_exn with Some e -> raise e | None -> ()
 
-let run ~jobs count f =
+(* Per-domain work-steal tally: how many task indices worker [w]
+   pulled. A gauge of the actual schedule, not part of the
+   deterministic-counter contract (see Lcp_obs.Metrics). *)
+let record_tasks metrics w n =
+  match metrics with
+  | None -> ()
+  | Some m -> Lcp_obs.Metrics.incr m ~by:n (Printf.sprintf "pool/worker%d/tasks" w)
+
+let run ?metrics ~jobs count f =
   if count <= 0 then [||]
-  else if jobs <= 1 || count = 1 then Array.init count f
+  else if jobs <= 1 || count = 1 then begin
+    record_tasks metrics 0 count;
+    Array.init count f
+  end
   else begin
     let results = Array.make count None in
     let next = Atomic.make 0 in
-    let worker () =
+    let worker w =
       let exn = ref None in
+      let pulled = ref 0 in
       (try
          let continue = ref true in
          while !continue do
            let i = Atomic.fetch_and_add next 1 in
            if i >= count then continue := false
-           else results.(i) <- Some (f i)
+           else begin
+             incr pulled;
+             results.(i) <- Some (f i)
+           end
          done
        with e -> exn := Some e);
+      record_tasks metrics w !pulled;
       !exn
     in
     with_domains ~extra:(min jobs count - 1) worker;
     Array.map (function Some x -> x | None -> assert false) results
   end
 
-let map ~jobs f arr = run ~jobs (Array.length arr) (fun i -> f arr.(i))
+let map ?metrics ~jobs f arr =
+  run ?metrics ~jobs (Array.length arr) (fun i -> f arr.(i))
 
-let search ~jobs count f =
+let search ?metrics ~jobs count f =
   if count <= 0 then None
   else if jobs <= 1 || count = 1 then begin
     let rec go i =
-      if i >= count then None
-      else match f i with Some x -> Some (i, x) | None -> go (i + 1)
+      if i >= count then begin
+        record_tasks metrics 0 count;
+        None
+      end
+      else
+        match f i with
+        | Some x ->
+            record_tasks metrics 0 (i + 1);
+            Some (i, x)
+        | None -> go (i + 1)
     in
     go 0
   end
@@ -66,18 +91,22 @@ let search ~jobs count f =
       | _ -> found := Some (i, x));
       Mutex.unlock lock
     in
-    let worker () =
+    let worker w =
       let exn = ref None in
+      let pulled = ref 0 in
       (try
          let continue = ref true in
          while !continue do
            let i = Atomic.fetch_and_add next 1 in
            if i >= count then continue := false
-           else if i < Atomic.get best then
+           else if i < Atomic.get best then begin
+             incr pulled;
              match f i with Some x -> record i x | None -> ()
+           end
            (* i above the current best: skip, it cannot win *)
          done
        with e -> exn := Some e);
+      record_tasks metrics w !pulled;
       !exn
     in
     with_domains ~extra:(min jobs count - 1) worker;

@@ -1,4 +1,5 @@
 open Lcp_graph
+module R = Lcp_obs.Run_cfg
 
 (* ------------------------------------------------------------------ *)
 (* enumeration + canonical dedup                                       *)
@@ -13,11 +14,12 @@ type enum_tallies = {
 (* Each chunk dedups locally (canonical mask -> smallest edge mask);
    the sequential merge keeps the smallest mask per class, so the
    result is independent of chunk scheduling and of [jobs]. *)
-let enumerate_classes ~jobs ~connected n =
+let enumerate_classes ~cfg ~connected n =
   let chunk_bits = max 12 (Chunk.slots n - 6) in
   let chunks = Array.of_list (Chunk.plan ~chunk_bits n) in
   let per_chunk =
-    Pool.run ~jobs (Array.length chunks) (fun ci ->
+    Pool.run ~metrics:cfg.R.metrics ~jobs:cfg.R.jobs (Array.length chunks)
+      (fun ci ->
         let c = chunks.(ci) in
         let tbl : (int, int) Hashtbl.t = Hashtbl.create 512 in
         let scanned = ref 0 and conn = ref 0 in
@@ -71,26 +73,45 @@ let cache_lock = Mutex.create ()
 let hits = ref 0
 let misses = ref 0
 
-let classes_cached ~jobs ~connected n =
+(* The single choke point for class listings. Every call reports into
+   [cfg]: cache traffic, plus the enumeration tallies of the listing it
+   returns — cached or not — so counters stay deterministic in [jobs]
+   and in cache temperature alike. *)
+let classes_cached ~cfg ~connected n =
+  (* materialize both cache counters so an all-hit (or all-miss) run
+     serializes the same key set as any other *)
+  R.count cfg ~by:0 "cache_hits";
+  R.count cfg ~by:0 "cache_misses";
   Mutex.lock cache_lock;
   let cached = Hashtbl.find_opt cache (n, connected) in
   (match cached with Some _ -> incr hits | None -> incr misses);
   Mutex.unlock cache_lock;
-  match cached with
-  | Some entry -> entry
-  | None ->
-      (* compute outside the lock: workers must not hold it, and a
-         duplicated computation on a race is deterministic anyway *)
-      let entry = enumerate_classes ~jobs ~connected n in
-      Mutex.lock cache_lock;
-      if not (Hashtbl.mem cache (n, connected)) then
-        Hashtbl.replace cache (n, connected) entry;
-      Mutex.unlock cache_lock;
-      entry
+  let ((_, e) as entry) =
+    match cached with
+    | Some entry ->
+        R.count cfg "cache_hits";
+        entry
+    | None ->
+        R.count cfg "cache_misses";
+        (* compute outside the lock: workers must not hold it, and a
+           duplicated computation on a race is deterministic anyway *)
+        let entry =
+          R.span cfg "enumerate" (fun () -> enumerate_classes ~cfg ~connected n)
+        in
+        Mutex.lock cache_lock;
+        if not (Hashtbl.mem cache (n, connected)) then
+          Hashtbl.replace cache (n, connected) entry;
+        Mutex.unlock cache_lock;
+        entry
+  in
+  R.count cfg ~by:e.e_scanned "masks_scanned";
+  R.count cfg ~by:e.e_connected "connected";
+  R.count cfg ~by:e.e_classes "classes";
+  R.count cfg ~by:e.e_dedup_hits "dedup_hits";
+  entry
 
-let iso_classes ?jobs ?(connected = true) n =
-  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-  fst (classes_cached ~jobs ~connected n)
+let iso_classes ?(cfg = R.default) ?(connected = true) n =
+  fst (classes_cached ~cfg ~connected n)
 
 let cache_stats () = (!hits, !misses)
 
@@ -126,57 +147,71 @@ type 'c summary = {
   wall_s : float;
 }
 
-let run ?jobs ?(mode = Exhaustive) ?(connected = true)
+let run ?(cfg = R.default) ?(mode = Exhaustive) ?(connected = true)
     ?(keep = fun _ -> true) ~n ~check () =
-  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-  let t0 = Unix.gettimeofday () in
-  let reps, e = classes_cached ~jobs ~connected n in
-  let targets = Array.of_list (List.filter keep reps) in
-  let kept = Array.length targets in
-  let checked, passed, violations, counterexample =
-    match mode with
-    | Exhaustive ->
-        let verdicts = Pool.run ~jobs kept (fun i -> check targets.(i)) in
-        let violations = ref 0 and first = ref None in
-        Array.iteri
-          (fun i v ->
-            match v with
-            | None -> ()
-            | Some c ->
-                incr violations;
-                if !first = None then first := Some (targets.(i), c))
-          verdicts;
-        (kept, kept - !violations, !violations, !first)
-    | Search_counterexample ->
-        let checked = Atomic.make 0 in
-        let hit =
-          Pool.search ~jobs kept (fun i ->
-              Atomic.incr checked;
-              check targets.(i))
-        in
-        let checked = Atomic.get checked in
-        (match hit with
-        | Some (i, c) -> (checked, checked - 1, 1, Some (targets.(i), c))
-        | None -> (checked, checked, 0, None))
-  in
-  {
-    n;
-    jobs;
-    mode;
-    counters =
+  R.span cfg "sweep" (fun () ->
+      let t0 = Lcp_obs.Clock.now_s () in
+      let jobs = cfg.R.jobs in
+      let reps, e = classes_cached ~cfg ~connected n in
+      let targets = Array.of_list (List.filter keep reps) in
+      let kept = Array.length targets in
+      R.count cfg ~by:kept "kept";
+      let checked, passed, violations, counterexample =
+        R.span cfg "check" (fun () ->
+            match mode with
+            | Exhaustive ->
+                let verdicts =
+                  Pool.run ~metrics:cfg.R.metrics ~jobs kept (fun i ->
+                      check targets.(i))
+                in
+                let violations = ref 0 and first = ref None in
+                Array.iteri
+                  (fun i v ->
+                    match v with
+                    | None -> ()
+                    | Some c ->
+                        incr violations;
+                        if !first = None then first := Some (targets.(i), c))
+                  verdicts;
+                (kept, kept - !violations, !violations, !first)
+            | Search_counterexample ->
+                let checked = Atomic.make 0 in
+                let hit =
+                  Pool.search ~metrics:cfg.R.metrics ~jobs kept (fun i ->
+                      Atomic.incr checked;
+                      check targets.(i))
+                in
+                let checked = Atomic.get checked in
+                (match hit with
+                | Some (i, c) ->
+                    (* which round the early exit fired on: a gauge —
+                       the winning class index is deterministic, but
+                       how much work ran before cancellation is not *)
+                    R.set_gauge cfg "early_exit_round" i;
+                    (checked, checked - 1, 1, Some (targets.(i), c))
+                | None -> (checked, checked, 0, None)))
+      in
+      R.count cfg ~by:checked "checked";
+      R.count cfg ~by:passed "passed";
+      R.count cfg ~by:violations "violations";
       {
-        scanned = e.e_scanned;
-        connected = e.e_connected;
-        classes = e.e_classes;
-        dedup_hits = e.e_dedup_hits;
-        kept;
-        checked;
-        passed;
-        violations;
-      };
-    counterexample;
-    wall_s = Unix.gettimeofday () -. t0;
-  }
+        n;
+        jobs;
+        mode;
+        counters =
+          {
+            scanned = e.e_scanned;
+            connected = e.e_connected;
+            classes = e.e_classes;
+            dedup_hits = e.e_dedup_hits;
+            kept;
+            checked;
+            passed;
+            violations;
+          };
+        counterexample;
+        wall_s = Lcp_obs.Clock.now_s () -. t0;
+      })
 
 let pp_summary ppf s =
   let c = s.counters in

@@ -11,21 +11,34 @@
 
     Results are deterministic in [jobs]: class listings, summaries and
     counterexamples are bit-identical whether the sweep runs on one
-    domain or many. *)
+    domain or many.
+
+    Every entry point takes an {!Lcp_obs.Run_cfg.t} (defaulting to
+    [Run_cfg.default]) that supplies the domain count and receives the
+    sweep's instrumentation: spans [sweep], [sweep/enumerate] and
+    [sweep/check]; deterministic counters [masks_scanned], [connected],
+    [classes], [dedup_hits], [kept], [cache_hits], [cache_misses] (and,
+    in [Exhaustive] mode, [checked] / [passed] / [violations]); and the
+    [early_exit_round] gauge in [Search_counterexample] mode. *)
 
 open Lcp_graph
 
 (** {1 Cached isomorphism classes} *)
 
-val iso_classes : ?jobs:int -> ?connected:bool -> int -> Graph.t list
+val iso_classes :
+  ?cfg:Lcp_obs.Run_cfg.t -> ?connected:bool -> int -> Graph.t list
 (** One representative (the one with the smallest edge mask) per
     isomorphism class of graphs on [n] nodes ([connected] defaults to
     [true]: connected graphs only). Enumerated in parallel chunks,
     deduplicated via {!Canon.canonical_mask}, returned in ascending
-    mask order, and memoized across calls. *)
+    mask order, and memoized across calls. Reports cache traffic and
+    the listing's enumeration tallies into [cfg] on every call, cached
+    or not, so counters do not depend on cache temperature. *)
 
 val cache_stats : unit -> int * int
-(** [(hits, misses)] of the cross-sweep iso-class cache. *)
+(** [(hits, misses)] of the cross-sweep iso-class cache, process-wide
+    (the per-run view lives in the cfg's [cache_hits] / [cache_misses]
+    counters). *)
 
 val clear_cache : unit -> unit
 (** Drop the memoized class listings (resets {!cache_stats}). *)
@@ -67,7 +80,7 @@ type 'c summary = {
 }
 
 val run :
-  ?jobs:int ->
+  ?cfg:Lcp_obs.Run_cfg.t ->
   ?mode:mode ->
   ?connected:bool ->
   ?keep:(Graph.t -> bool) ->
@@ -78,8 +91,9 @@ val run :
 (** Sweep the [n]-node space: enumerate + dedup (cached), filter the
     representatives through [keep] (which must be
     isomorphism-invariant — it runs on one representative per class),
-    and run [check] on each kept class in parallel. [check g = Some c]
-    reports a violation [c]; [None] is an accept. [jobs] defaults to
-    {!Pool.default_jobs}; [1] is a strictly sequential sweep. *)
+    and run [check] on each kept class in parallel on [cfg.jobs]
+    domains ([Run_cfg.sequential cfg] for a strictly sequential
+    sweep). [check g = Some c] reports a violation [c]; [None] is an
+    accept. *)
 
 val pp_summary : Format.formatter -> 'c summary -> unit

@@ -19,38 +19,36 @@ let iter_graphs n f =
     f (Graph.of_edges n !es)
   done
 
-let all_graphs n =
-  let acc = ref [] in
-  iter_graphs n (fun g -> acc := g :: !acc);
-  List.rev !acc
-
 let iter_connected n f =
   iter_graphs n (fun g -> if Graph.is_connected g then f g)
 
-let connected_graphs n =
-  let acc = ref [] in
-  iter_connected n (fun g -> acc := g :: !acc);
-  List.rev !acc
-
-let up_to_iso graphs =
-  (* bucket by cheap invariants first, then pairwise isomorphism *)
-  let invariant g =
-    (Graph.order g, Graph.size g, Graph.degree_counts g)
-  in
+(* Streaming isomorphism dedup: bucket by cheap invariants first, then
+   pairwise isomorphism within the bucket. First-seen wins, so on
+   mask-ordered input the representative is the minimal-mask member. *)
+let dedup_iso () =
+  let invariant g = (Graph.order g, Graph.size g, Graph.degree_counts g) in
   let buckets = Hashtbl.create 64 in
   let out = ref [] in
-  List.iter
-    (fun g ->
-      let key = invariant g in
-      let reps = Option.value ~default:[] (Hashtbl.find_opt buckets key) in
-      if not (List.exists (fun h -> Graph.isomorphic g h) reps) then begin
-        Hashtbl.replace buckets key (g :: reps);
-        out := g :: !out
-      end)
-    graphs;
-  List.rev !out
+  let push g =
+    let key = invariant g in
+    let reps = Option.value ~default:[] (Hashtbl.find_opt buckets key) in
+    if not (List.exists (fun h -> Graph.isomorphic g h) reps) then begin
+      Hashtbl.replace buckets key (g :: reps);
+      out := g :: !out
+    end
+  in
+  let listing () = List.rev !out in
+  (push, listing)
 
-let connected_up_to_iso n = up_to_iso (connected_graphs n)
+let up_to_iso graphs =
+  let push, listing = dedup_iso () in
+  List.iter push graphs;
+  listing ()
+
+let connected_up_to_iso n =
+  let push, listing = dedup_iso () in
+  iter_connected n push;
+  listing ()
 
 let non_bipartite graphs = List.filter (fun g -> not (Coloring.is_bipartite g)) graphs
 let bipartite graphs = List.filter Coloring.is_bipartite graphs

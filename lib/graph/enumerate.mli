@@ -6,14 +6,14 @@
     order (the mask assigns bit [i] to the [i]-th pair [(u, v)],
     [u < v], in lexicographic order).
 
-    The streaming iterators are the primary API: they visit the
-    2^(n choose 2) labeled graphs one at a time without materializing
-    the list, which is the only shape that survives past [n = 5]. The
-    list-returning functions below are retained for small-[n]
-    convenience and for historical call sites; for whole-space sweeps
-    with isomorphism dedup, parallelism and caching, use
-    [Lcp_engine.Sweep] instead (it reproduces these orders and
-    representative choices exactly). *)
+    The streaming iterators are the only whole-space API: they visit
+    the 2^(n choose 2) labeled graphs one at a time without
+    materializing the list, which is the only shape that survives past
+    [n = 5]. (The historical [all_graphs] / [connected_graphs] list
+    builders are gone — fold over {!iter_graphs} / {!iter_connected}
+    instead.) For whole-space sweeps with isomorphism dedup,
+    parallelism and caching, use [Lcp_engine.Sweep], which reproduces
+    these orders and representative choices exactly. *)
 
 (** {1 Streaming (primary)} *)
 
@@ -27,19 +27,6 @@ val iter_connected : int -> (Graph.t -> unit) -> unit
 val count_graphs : int -> int
 (** [2^(n choose 2)], for sanity checks. *)
 
-(** {1 Materializing (small n only)} *)
-
-val all_graphs : int -> Graph.t list
-(** All 2^(n choose 2) labeled graphs on [n] nodes, as one list.
-    @deprecated Materializes the whole space — 32768 graphs at [n = 6],
-    2M at [n = 7]. Use {!iter_graphs} (same order) or
-    [Lcp_engine.Sweep] for anything beyond [n = 5]. *)
-
-val connected_graphs : int -> Graph.t list
-(** Labeled connected graphs on exactly [n] nodes, as one list.
-    @deprecated Same cost profile as {!all_graphs}; use
-    {!iter_connected} or [Lcp_engine.Sweep.iso_classes]. *)
-
 (** {1 Isomorphism dedup (brute force)} *)
 
 val up_to_iso : Graph.t list -> Graph.t list
@@ -51,8 +38,10 @@ val up_to_iso : Graph.t list -> Graph.t list
 
 val connected_up_to_iso : int -> Graph.t list
 (** Connected graphs on [n] nodes up to isomorphism (minimal-mask
-    representatives). Brute force — keep [n <= 6]; for larger orders
-    use [Lcp_engine.Sweep.iso_classes], which returns the identical
+    representatives), deduplicated on the fly over {!iter_connected} —
+    peak memory is one representative per class, not the labeled
+    space. Brute force — keep [n <= 6]; for larger orders use
+    [Lcp_engine.Sweep.iso_classes], which returns the identical
     listing, cached and in parallel. *)
 
 val non_bipartite : Graph.t list -> Graph.t list

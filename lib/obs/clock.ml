@@ -1,0 +1,2 @@
+let now_s = Unix.gettimeofday
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

@@ -1,0 +1,14 @@
+(** The one clock every span and wall-time measurement reads.
+
+    The sealed build environment exposes no monotonic source through the
+    OCaml 5.1 stdlib ([Unix.clock_gettime] does not exist there and no
+    [mtime] package is baked in), so this is [Unix.gettimeofday]
+    centralized behind one indirection: swap the implementation here and
+    every span in the tree switches clock. *)
+
+val now_s : unit -> float
+(** Seconds since the epoch, sub-microsecond resolution. *)
+
+val now_ns : unit -> int
+(** {!now_s} scaled to integer nanoseconds — the unit all spans are
+    recorded and serialized in ({!Json} exchanges integers only). *)

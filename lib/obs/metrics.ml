@@ -1,0 +1,186 @@
+type span_cell = { mutable entries : int; mutable total_ns : int }
+
+type t = {
+  lock : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  span_cells : (string, span_cell) Hashtbl.t;
+  mutable stack : string list;  (** innermost-first span paths *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    span_cells = Hashtbl.create 16;
+    stack = [];
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let reset t =
+  locked t (fun () ->
+      Hashtbl.reset t.counters;
+      Hashtbl.reset t.gauges;
+      Hashtbl.reset t.span_cells;
+      t.stack <- [])
+
+(* ------------------------------------------------------------------ *)
+(* counters and gauges                                                 *)
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace tbl name r;
+      r
+
+let incr t ?(by = 1) name =
+  locked t (fun () ->
+      let r = cell t.counters name in
+      r := !r + by)
+
+let counter t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+let set_gauge t name v = locked t (fun () -> cell t.gauges name := v)
+
+let gauge t name =
+  locked t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.gauges name))
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = locked t (fun () -> sorted_bindings t.counters ( ! ))
+let gauges t = locked t (fun () -> sorted_bindings t.gauges ( ! ))
+
+(* ------------------------------------------------------------------ *)
+(* spans                                                               *)
+
+let record_span t path ns =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.span_cells path with
+      | Some c ->
+          c.entries <- c.entries + 1;
+          c.total_ns <- c.total_ns + ns
+      | None -> Hashtbl.replace t.span_cells path { entries = 1; total_ns = ns })
+
+let with_span ?enter ?leave t name f =
+  let path =
+    locked t (fun () ->
+        let path =
+          match t.stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
+        in
+        t.stack <- path :: t.stack;
+        path)
+  in
+  Option.iter (fun g -> g path) enter;
+  let t0 = Clock.now_ns () in
+  let finish () =
+    let ns = Clock.now_ns () - t0 in
+    locked t (fun () ->
+        match t.stack with p :: rest when p == path -> t.stack <- rest | _ -> ());
+    record_span t path ns;
+    Option.iter (fun g -> g path ns) leave
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let span t path =
+  locked t (fun () ->
+      Option.map
+        (fun c -> (c.entries, c.total_ns))
+        (Hashtbl.find_opt t.span_cells path))
+
+let spans t =
+  locked t (fun () ->
+      sorted_bindings t.span_cells (fun c -> (c.entries, c.total_ns)))
+
+(* ------------------------------------------------------------------ *)
+(* serialization                                                       *)
+
+let schema_version = 1
+
+let to_json t =
+  let ints l = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) l) in
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("counters", ints (counters t));
+      ("gauges", ints (gauges t));
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (path, (entries, total_ns)) ->
+               ( path,
+                 Json.Obj
+                   [
+                     ("entries", Json.Int entries);
+                     ("wall_ns", Json.Int total_ns);
+                   ] ))
+             (spans t)) );
+    ]
+
+let of_json json =
+  let open Json in
+  let* v = member "schema_version" json in
+  let* v = to_int v in
+  if v <> schema_version then
+    Error (Printf.sprintf "metrics: unsupported schema_version %d" v)
+  else
+    let t = create () in
+    let each name f =
+      let* obj = member name json in
+      let* fields =
+        match obj with
+        | Obj fields -> Ok fields
+        | _ -> Error (Printf.sprintf "metrics: %S is not an object" name)
+      in
+      map_m (fun (k, v) -> f k v) fields
+    in
+    let* _ =
+      each "counters" (fun k v ->
+          let* n = to_int v in
+          incr t ~by:n k;
+          Ok ())
+    in
+    let* _ =
+      each "gauges" (fun k v ->
+          let* n = to_int v in
+          set_gauge t k n;
+          Ok ())
+    in
+    let* _ =
+      each "spans" (fun path v ->
+          let* entries = let* e = member "entries" v in to_int e in
+          let* total = let* w = member "wall_ns" v in to_int w in
+          locked t (fun () ->
+              Hashtbl.replace t.span_cells path { entries; total_ns = total });
+          Ok ())
+    in
+    Ok t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (path, (entries, ns)) ->
+      Format.fprintf ppf "span    %-40s %8.3fs (x%d)@," path
+        (float_of_int ns /. 1e9)
+        entries)
+    (spans t);
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "counter %-40s %d@," k v)
+    (counters t);
+  List.iter (fun (k, v) -> Format.fprintf ppf "gauge   %-40s %d@," k v) (gauges t);
+  Format.fprintf ppf "@]"

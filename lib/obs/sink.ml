@@ -1,0 +1,57 @@
+type event =
+  | Span_start of string
+  | Span_end of string * int
+  | Progress of string
+
+type t = {
+  name : string;
+  emit : event -> unit;
+  flush : Metrics.t -> unit;
+}
+
+let null = { name = "null"; emit = ignore; flush = ignore }
+
+let stderr_progress =
+  {
+    name = "stderr";
+    emit =
+      (function
+      | Span_start _ -> ()
+      | Span_end (path, ns) ->
+          Printf.eprintf "[lcp] %-40s %8.3fs\n%!" path (float_of_int ns /. 1e9)
+      | Progress line -> Printf.eprintf "[lcp] %s\n%!" line);
+    flush = (fun m -> Format.eprintf "[lcp] metrics@.%a@." Metrics.pp m);
+  }
+
+let json_file path =
+  {
+    name = Printf.sprintf "json:%s" path;
+    emit = ignore;
+    flush =
+      (fun m ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Json.to_string_pretty (Metrics.to_json m));
+            output_char oc '\n'));
+  }
+
+let tee a b =
+  {
+    name = Printf.sprintf "tee(%s,%s)" a.name b.name;
+    emit =
+      (fun e ->
+        a.emit e;
+        b.emit e);
+    flush =
+      (fun m ->
+        a.flush m;
+        b.flush m);
+  }
+
+let of_outputs ?(progress = false) ?metrics_out () =
+  let s = if progress then stderr_progress else null in
+  match metrics_out with
+  | None -> s
+  | Some path -> if progress then tee s (json_file path) else json_file path

@@ -1,0 +1,38 @@
+(** Pluggable observability sinks.
+
+    A sink is where a run's instrumentation goes: spans and progress
+    lines as they happen ([emit]), and the aggregate {!Metrics.t} once
+    at the end ([flush]). Everything that takes a {!Run_cfg.t} reports
+    through the sink it carries, so redirecting a whole sweep from
+    silent to stderr-progress to a JSON file is a one-field change. *)
+
+type event =
+  | Span_start of string  (** span path, fired on entry *)
+  | Span_end of string * int  (** span path and wall nanoseconds *)
+  | Progress of string  (** human-readable progress line *)
+
+type t = {
+  name : string;  (** for error messages and [pp] *)
+  emit : event -> unit;
+  flush : Metrics.t -> unit;
+}
+
+val null : t
+(** Drops everything — the default sink; instrumented code pays only
+    the counter increments. *)
+
+val stderr_progress : t
+(** Prints [Progress] lines and span completions to stderr as they
+    happen, and a metrics dump on flush. *)
+
+val json_file : string -> t
+(** Silent during the run; [flush] writes {!Metrics.to_json} (pretty,
+    trailing newline) to the given path, creating or truncating it. *)
+
+val tee : t -> t -> t
+(** Both sinks see every event and every flush, left first. *)
+
+val of_outputs : ?progress:bool -> ?metrics_out:string -> unit -> t
+(** The one constructor CLI front-ends need: [stderr_progress] when
+    [progress], composed with [json_file metrics_out] when a path is
+    given, {!null} otherwise. *)

@@ -8,6 +8,10 @@ open Lcp_graph
 open Lcp_engine
 open Helpers
 
+(* A fresh throwaway cfg at the given width — jobs is now carried by
+   [Run_cfg.t] rather than a per-call optional. *)
+let cfg jobs = Lcp_obs.Run_cfg.make ~jobs ()
+
 let heavy_enabled = Sys.getenv_opt "LCP_HEAVY" <> None
 
 (* ------------------------------------------------------------------ *)
@@ -119,23 +123,23 @@ let test_iso_classes_counts () =
       check_int
         (Printf.sprintf "connected classes n=%d" n)
         expected
-        (List.length (Sweep.iso_classes ~jobs:2 n)))
+        (List.length (Sweep.iso_classes ~cfg:(cfg 2) n)))
     [ (1, 1); (2, 1); (3, 2); (4, 6); (5, 21); (6, 112) ];
   (* including disconnected graphs: 11 classes on 4 nodes *)
   check_int "all classes n=4" 11
-    (List.length (Sweep.iso_classes ~jobs:2 ~connected:false 4))
+    (List.length (Sweep.iso_classes ~cfg:(cfg 2) ~connected:false 4))
 
 let test_iso_classes_deterministic () =
   Sweep.clear_cache ();
-  let seq = Sweep.iso_classes ~jobs:1 5 in
+  let seq = Sweep.iso_classes ~cfg:(cfg 1) 5 in
   Sweep.clear_cache ();
-  let par = Sweep.iso_classes ~jobs:4 5 in
+  let par = Sweep.iso_classes ~cfg:(cfg 4) 5 in
   check_int "same class count" (List.length seq) (List.length par);
   List.iter2 (fun a b -> check_graph "identical representative" a b) seq par
 
 let test_iso_classes_agree_with_enumerate () =
   (* same classes as the brute-force path, up to isomorphism *)
-  let engine = Sweep.iso_classes ~jobs:2 4 in
+  let engine = Sweep.iso_classes ~cfg:(cfg 2) 4 in
   let brute = Enumerate.connected_up_to_iso 4 in
   check_int "class count vs Enumerate" (List.length brute) (List.length engine);
   List.iter
@@ -146,12 +150,12 @@ let test_iso_classes_agree_with_enumerate () =
 
 let test_class_cache_hits () =
   Sweep.clear_cache ();
-  ignore (Sweep.iso_classes ~jobs:1 5);
+  ignore (Sweep.iso_classes ~cfg:(cfg 1) 5);
   let h0, m0 = Sweep.cache_stats () in
   check_int "first sweep misses" 1 m0;
   check_int "first sweep hits" 0 h0;
-  ignore (Sweep.iso_classes ~jobs:4 5);
-  ignore (Sweep.iso_classes ~jobs:1 5);
+  ignore (Sweep.iso_classes ~cfg:(cfg 4) 5);
+  ignore (Sweep.iso_classes ~cfg:(cfg 1) 5);
   let h1, m1 = Sweep.cache_stats () in
   check_int "repeat sweeps hit" 2 (h1 - h0);
   check_int "no recompute" m0 m1
@@ -174,7 +178,7 @@ let violation_check g = if has_triangle g then Some (Graph.size g) else None
 
 let test_sweep_deterministic_across_jobs () =
   let run jobs mode =
-    Sweep.run ~jobs ~mode ~n:5 ~check:violation_check ()
+    Sweep.run ~cfg:(cfg jobs) ~mode ~n:5 ~check:violation_check ()
   in
   let base = run 1 Sweep.Exhaustive in
   check_bool "violations exist on 5 nodes" true
@@ -197,12 +201,12 @@ let test_sweep_deterministic_across_jobs () =
 let test_sweep_clean_space () =
   (* no violation: every mode and jobs count agrees on the verdict and
      the exhaustive counters *)
-  let s = Sweep.run ~jobs:4 ~n:5 ~check:(fun _ -> None) () in
+  let s = Sweep.run ~cfg:(cfg 4) ~n:5 ~check:(fun _ -> None) () in
   check_bool "no counterexample" true (s.Sweep.counterexample = None);
   check_int "all classes accepted" s.Sweep.counters.Sweep.kept
     s.Sweep.counters.Sweep.passed;
   let t =
-    Sweep.run ~jobs:4 ~mode:Sweep.Search_counterexample ~n:5
+    Sweep.run ~cfg:(cfg 4) ~mode:Sweep.Search_counterexample ~n:5
       ~check:(fun _ -> None) ()
   in
   check_bool "search agrees" true (t.Sweep.counterexample = None)
@@ -210,7 +214,7 @@ let test_sweep_clean_space () =
 let test_sweep_keep_filter () =
   (* keep = bipartite only: counterexamples (triangles) all filtered *)
   let s =
-    Sweep.run ~jobs:2 ~n:5 ~keep:Coloring.is_bipartite ~check:violation_check ()
+    Sweep.run ~cfg:(cfg 2) ~n:5 ~keep:Coloring.is_bipartite ~check:violation_check ()
   in
   check_bool "bipartite classes have no triangles" true
     (s.Sweep.counterexample = None);

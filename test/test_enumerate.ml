@@ -1,19 +1,26 @@
 open Lcp_graph
 open Helpers
 
+let count_iter iter n =
+  let count = ref 0 in
+  iter n (fun _ -> incr count);
+  !count
+
 let test_counts () =
-  check_int "graphs on 3" 8 (List.length (Enumerate.all_graphs 3));
+  check_int "graphs on 3" 8 (count_iter Enumerate.iter_graphs 3);
   check_int "count formula" 8 (Enumerate.count_graphs 3);
-  check_int "graphs on 4" 64 (List.length (Enumerate.all_graphs 4));
-  check_int "graphs on 0" 1 (List.length (Enumerate.all_graphs 0));
-  check_int "graphs on 1" 1 (List.length (Enumerate.all_graphs 1))
+  check_int "graphs on 4" 64 (count_iter Enumerate.iter_graphs 4);
+  check_int "graphs on 0" 1 (count_iter Enumerate.iter_graphs 0);
+  check_int "graphs on 1" 1 (count_iter Enumerate.iter_graphs 1)
 
 let test_connected () =
   (* labeled connected graphs: 1, 1, 1, 4, 38 for n = 0..4 *)
-  check_int "connected on 3" 4 (List.length (Enumerate.connected_graphs 3));
-  check_int "connected on 4" 38 (List.length (Enumerate.connected_graphs 4));
-  check_bool "all connected" true
-    (List.for_all Graph.is_connected (Enumerate.connected_graphs 4))
+  check_int "connected on 3" 4 (count_iter Enumerate.iter_connected 3);
+  check_int "connected on 4" 38 (count_iter Enumerate.iter_connected 4);
+  let all_connected = ref true in
+  Enumerate.iter_connected 4 (fun g ->
+      if not (Graph.is_connected g) then all_connected := false);
+  check_bool "all connected" true !all_connected
 
 let test_up_to_iso () =
   (* connected graphs up to isomorphism: 1, 1, 2, 6, 21 for n = 1..5 *)
@@ -38,10 +45,16 @@ let test_bipartite_split () =
      (diamond), K4, C3 alone is n=3 — count is 3 *)
   check_int "non-bipartite classes" 3 (List.length nb)
 
-let test_iter_matches_list () =
-  let count = ref 0 in
-  Enumerate.iter_graphs 3 (fun _ -> incr count);
-  check_int "iter count" 8 !count
+let test_streaming_matches_list_dedup () =
+  (* connected_up_to_iso streams; up_to_iso over a materialized
+     mask-ordered list must pick the identical representatives *)
+  let listed = ref [] in
+  Enumerate.iter_connected 4 (fun g -> listed := g :: !listed);
+  let via_list = Enumerate.up_to_iso (List.rev !listed) in
+  let streamed = Enumerate.connected_up_to_iso 4 in
+  check_int "same class count" (List.length via_list) (List.length streamed);
+  check_bool "same representatives" true
+    (List.for_all2 (fun a b -> Graph.equal a b) via_list streamed)
 
 let suite =
   [
@@ -50,5 +63,5 @@ let suite =
     case "iso class counts" test_up_to_iso;
     case "iso classes pairwise distinct" test_up_to_iso_distinct;
     case "bipartite split" test_bipartite_split;
-    case "iter matches list" test_iter_matches_list;
+    case "streaming dedup matches list dedup" test_streaming_matches_list_dedup;
   ]
