@@ -1,0 +1,32 @@
+(** The instance corpus a decoder is linted against: every connected
+    isomorphism class up to a small order, each carrying the honest
+    prover's certificates (when the graph is in the promise class) and
+    a deterministic sample of adversarial labelings drawn from the
+    suite's own alphabet.
+
+    Items are produced in a fixed order — ascending order, minimal-mask
+    class representatives, honest before sampled — and the sampling
+    consumes the caller's RNG sequentially, so a corpus is a pure
+    function of [(max_n, samples, seed)]. That is what makes the whole
+    lint report byte-deterministic across runs and across [jobs]. *)
+
+open Lcp_local
+
+type item = {
+  inst : Instance.t;
+  honest : bool;  (** labeling produced by the honest prover *)
+}
+
+val default_max_n : int
+(** 4 — ten connected classes, every decoder evaluation still traced in
+    milliseconds. *)
+
+val default_samples : int
+(** 6 adversarial labelings per class. *)
+
+val build :
+  ?max_n:int ->
+  ?samples:int ->
+  rng:Random.State.t ->
+  Lcp.Decoder.suite ->
+  item list

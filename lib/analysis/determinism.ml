@@ -1,0 +1,28 @@
+let check ~jobs ~decoder dec corpus =
+  let insts =
+    Array.of_list (List.map (fun (it : Corpus.item) -> it.Corpus.inst) corpus)
+  in
+  let run_all () = Array.map (Lcp.Decoder.run dec) insts in
+  let first = run_all () in
+  let second = run_all () in
+  let repeated =
+    if first = second then []
+    else
+      [
+        Finding.make Finding.Nondeterminism ~decoder
+          "verdicts changed between two identical sequential runs";
+      ]
+  in
+  let parallel =
+    if jobs <= 1 then []
+    else begin
+      let par = Lcp_engine.Pool.map ~jobs (Lcp.Decoder.run dec) insts in
+      if first = par then []
+      else
+        [
+          Finding.make Finding.Nondeterminism ~decoder
+            (Printf.sprintf "verdicts differ between jobs=1 and jobs=%d" jobs);
+        ]
+    end
+  in
+  repeated @ parallel

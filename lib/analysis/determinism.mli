@@ -1,0 +1,17 @@
+(** Determinism pass: a decoder must be a pure function of the view.
+
+    Two defenses: the whole corpus is evaluated twice sequentially
+    (catches hidden mutable state and RNG use), then once more fanned
+    out over a [jobs]-wide {!Lcp_engine.Pool} and compared to the
+    sequential verdicts bit-for-bit (catches domain-local state — the
+    engine's cross-sweep caches and the [jobs]-independence guarantees
+    of E3/E4 all assume this). *)
+
+val check :
+  jobs:int ->
+  decoder:string ->
+  Lcp.Decoder.t ->
+  Corpus.item list ->
+  Finding.t list
+(** Empty when deterministic; {!Finding.Nondeterminism} findings
+    otherwise. [jobs <= 1] skips the pool comparison. *)

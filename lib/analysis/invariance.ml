@@ -1,0 +1,64 @@
+open Lcp_local
+
+let first_diff a b =
+  let n = Array.length a in
+  let rec go i =
+    if i = n then None else if a.(i) <> b.(i) then Some i else go (i + 1)
+  in
+  go 0
+
+let describe (it : Corpus.item) =
+  Printf.sprintf "%s instance on n=%d"
+    (if it.honest then "honest" else "adversarial")
+    (Instance.order it.inst)
+
+(* One finding per corpus item at most: the first sample whose verdicts
+   diverge is evidence enough, and it keeps reports readable. *)
+let check_item ~samples ~rng ~decoder ~kind ~what ~redraw dec
+    (it : Corpus.item) =
+  let inst = it.inst in
+  if Instance.order inst < 2 then None
+  else begin
+    let base = Lcp.Decoder.run dec inst in
+    let found = ref None in
+    for sample = 1 to samples do
+      (* always consume the sample's randomness, so the stream position
+         after this item does not depend on where a diff was found *)
+      let remapped = redraw rng inst in
+      if !found = None then begin
+        let after = Lcp.Decoder.run dec remapped in
+        match first_diff base after with
+        | None -> ()
+        | Some node ->
+            found :=
+              Some
+                (Finding.make kind ~decoder
+                   (Printf.sprintf
+                      "verdict of node %d changed under %s (sample %d, %s)"
+                      node what sample (describe it)))
+      end
+    done;
+    !found
+  end
+
+let check_ids ~samples ~rng ~decoder dec corpus =
+  List.filter_map
+    (check_item ~samples ~rng ~decoder ~kind:Finding.Id_variance
+       ~what:"an injective re-identification"
+       ~redraw:(fun rng inst ->
+         let ids =
+           Ident.random rng ~bound:inst.Instance.ids.Ident.bound
+             inst.Instance.graph
+         in
+         Instance.with_ids inst ids)
+       dec)
+    corpus
+
+let check_ports ~samples ~rng ~decoder dec corpus =
+  List.filter_map
+    (check_item ~samples ~rng ~decoder ~kind:Finding.Port_variance
+       ~what:"a re-drawn port assignment"
+       ~redraw:(fun rng inst ->
+         Instance.with_ports inst (Port.random rng inst.Instance.graph))
+       dec)
+    corpus

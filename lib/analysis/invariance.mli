@@ -1,0 +1,35 @@
+(** Behavioral invariance passes (the Lemma 6.2 side of the sanitizer):
+    re-run a decoder on the same graph and certificates under sampled
+    re-drawings of the symmetry the contract claims it ignores, and
+    diff the node-wise verdicts.
+
+    Certificates are held fixed — the checks target decoders whose
+    contract says the {e verdict function} is independent of concrete
+    identifiers (anonymity) or of the port numbering. Decoders that
+    legitimately verify identifiers or far-end ports (spanning,
+    watermelon, the cycle codes) simply do not declare the
+    corresponding contract bit and are skipped by {!Lint}.
+
+    Sampling consumes the given RNG identically whether or not diffs
+    are found, so downstream passes sharing the stream stay
+    deterministic. At most one finding is reported per corpus item. *)
+
+val check_ids :
+  samples:int ->
+  rng:Random.State.t ->
+  decoder:string ->
+  Lcp.Decoder.t ->
+  Corpus.item list ->
+  Finding.t list
+(** Injective re-identification within the instance's id bound;
+    {!Finding.Id_variance} on any verdict change. *)
+
+val check_ports :
+  samples:int ->
+  rng:Random.State.t ->
+  decoder:string ->
+  Lcp.Decoder.t ->
+  Corpus.item list ->
+  Finding.t list
+(** Uniformly re-drawn port assignment; {!Finding.Port_variance} on any
+    verdict change. *)

@@ -1,0 +1,44 @@
+(** Traced decoder evaluation: run an [accepts] function under the
+    {!Lcp_local.View.Trace} recorder and condense the access stream
+    into per-evaluation resource facts — the raw material for the
+    radius and certificate-taint passes.
+
+    Evaluations happen exactly as in {!Lcp.Decoder.run} (the view is
+    extracted at the decoder's own radius), so the verdicts here are
+    the production verdicts; tracing only adds observation. *)
+
+open Lcp_local
+
+type eval = {
+  node : int;
+  verdict : bool;
+  max_depth : int;
+      (** deepest data access, as distance from the center; [-1] when
+          the evaluation read nothing *)
+  id_reads : int;  (** identifier accessor calls *)
+  port_reads : int;  (** port accessor calls *)
+  label_nodes : int;  (** distinct ball nodes whose certificate was read *)
+  label_bits : int;
+      (** total certificate bits consumed, counted once per ball node
+          (at the largest size seen there) *)
+}
+
+type measurement = {
+  verdicts : bool array;  (** node-indexed, identical to [Decoder.run] *)
+  observed_radius : int;  (** max of [max_depth] over all evaluations *)
+  id_reads : int;  (** summed over evaluations *)
+  port_reads : int;
+  max_label_bits : int;
+      (** the largest certificate budget any single evaluation consumed
+          — compared against the suite's declared [cert_bits] as the
+          taint/tightness metric *)
+}
+
+val eval_node : Lcp.Decoder.t -> Instance.t -> int -> eval
+(** Trace one node's evaluation. *)
+
+val run : Lcp.Decoder.t -> Instance.t -> eval array
+(** Trace every node, in node order. *)
+
+val measure : Lcp.Decoder.t -> Instance.t -> measurement
+(** Aggregate {!run} over the instance. *)

@@ -25,6 +25,22 @@ let accepted_subgraph t inst =
 let as_local_algo t =
   Local_algo.make ~name:t.name ~radius:t.radius t.accepts
 
+type contract = {
+  declared_radius : int;
+  declared_anonymous : bool;
+  declared_port_invariant : bool;
+}
+
+let contract ?radius ?(port_invariant = false) t =
+  let declared_radius = Option.value radius ~default:t.radius in
+  if declared_radius < 1 || declared_radius > t.radius then
+    invalid_arg "Decoder.contract: declared radius outside [1; view radius]";
+  {
+    declared_radius;
+    declared_anonymous = t.anonymous;
+    declared_port_invariant = port_invariant;
+  }
+
 type suite = {
   dec : t;
   promise : Graph.t -> bool;

@@ -31,6 +31,37 @@ val accepted_subgraph : t -> Instance.t -> Graph.t * int array
 
 val as_local_algo : t -> bool Local_algo.t
 
+(** {1 Contracts}
+
+    The machine-checkable claims a decoder makes about itself, verified
+    empirically by the [Lcp_analysis] sanitizer. Every theorem about a
+    decoder is conditional on these: the order-invariance reduction
+    (Lemma 6.2) needs verdicts independent of concrete identifiers, and
+    r-round locality bounds are vacuous if the implementation keys on
+    data deeper than its declared radius. *)
+
+type contract = {
+  declared_radius : int;
+      (** the locality claim: evaluations must never read data at
+          distance greater than this from the center. Usually equal to
+          {!field-radius} (the extraction radius); a decoder may request
+          a generous view yet claim — and be held to — a tighter
+          effective radius. *)
+  declared_anonymous : bool;
+      (** verdicts must not depend on identifiers: no id reads, and
+          node-wise verdicts invariant under injective re-identification
+          (with certificates held fixed) *)
+  declared_port_invariant : bool;
+      (** node-wise verdicts invariant under re-drawing the port
+          assignment (with certificates held fixed) *)
+}
+
+val contract : ?radius:int -> ?port_invariant:bool -> t -> contract
+(** The decoder's declared contract: radius defaults to the extraction
+    radius, anonymity to the decoder's [anonymous] flag, port
+    invariance to [false] (reading ports is the norm in this library).
+    @raise Invalid_argument if [radius] is not in [1 .. t.radius]. *)
+
 (** {1 LCP bundles} *)
 
 type suite = {

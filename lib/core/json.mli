@@ -1,0 +1,9 @@
+(** Re-export of {!Lcp_obs.Json} (the module moved into [Lcp_obs] so
+    the engine layer can serialize metrics without depending on core).
+    [Lcp.Json] keeps working for every existing caller; the [include
+    module type of struct include ... end] form carries the type
+    equalities, so values flow freely between the two paths. *)
+
+include module type of struct
+  include Lcp_obs.Json
+end

@@ -1,0 +1,32 @@
+type entry = {
+  key : string;
+  suite : Decoder.suite;
+  contract : Decoder.contract;
+}
+
+let entry ?radius ?port_invariant key suite =
+  { key; suite; contract = Decoder.contract ?radius ?port_invariant suite.Decoder.dec }
+
+(* Port invariance is declared only where the accepts function provably
+   ignores port numbers: those decoders read neighbor certificates
+   through [View.center_neighbors] but never branch on the port
+   components. The cycle-structured decoders (even-cycle, edge-bit,
+   watermelon) and the union wrapper that can delegate to one of them
+   verify far-end ports by design and are exempt. *)
+let all =
+  [
+    entry "trivial2" (D_trivial.suite ~k:2) ~port_invariant:true;
+    entry "trivial3" (D_trivial.suite ~k:3) ~port_invariant:true;
+    entry "spanning" D_spanning.suite ~port_invariant:true;
+    entry "degree-one" D_degree_one.suite ~port_invariant:true;
+    entry "even-cycle" D_even_cycle.suite;
+    entry "union" D_union.suite;
+    entry "shatter" D_shatter.suite ~port_invariant:true;
+    entry "watermelon" D_watermelon.suite;
+    entry "hidden-leaf2" (D_hidden_leaf.suite ~k:2) ~port_invariant:true;
+    entry "hidden-leaf3" (D_hidden_leaf.suite ~k:3) ~port_invariant:true;
+    entry "edge-bit" D_edge_bit.suite;
+  ]
+
+let keys = List.map (fun e -> e.key) all
+let find key = List.find_opt (fun e -> e.key = key) all

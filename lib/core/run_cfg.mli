@@ -1,0 +1,9 @@
+(** Re-export of {!Lcp_obs.Run_cfg}, so core callers write
+    [Run_cfg.make] without a direct [Lcp_obs] dependency (and without
+    colliding with [Lcp_graph.Metrics]). The [include module type of
+    struct include ... end] form carries the type equalities: a
+    [Lcp.Run_cfg.t] {e is} a [Lcp_obs.Run_cfg.t]. *)
+
+include module type of struct
+  include Lcp_obs.Run_cfg
+end

@@ -10,6 +10,44 @@ type t = {
   ports : int array array;
 }
 
+module Trace = struct
+  type field = Label | Id | Port | Structure
+
+  type event = { field : field; node : int; dist : int; bits : int }
+
+  (* The recorder is domain-local: arming a trace in one domain never
+     observes (or pays for) evaluations running on another, so traced
+     and untraced work can coexist under the engine's domain pool. *)
+  let slot : event list ref option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let active () = Domain.DLS.get slot <> None
+
+  let note field ~node ~dist ~bits =
+    match Domain.DLS.get slot with
+    | None -> ()
+    | Some acc -> acc := { field; node; dist; bits } :: !acc
+
+  let record f =
+    let saved = Domain.DLS.get slot in
+    let acc = ref [] in
+    Domain.DLS.set slot (Some acc);
+    let result = match f () with y -> Ok y | exception e -> Error e in
+    Domain.DLS.set slot saved;
+    match result with Ok y -> (y, List.rev !acc) | Error e -> raise e
+
+  let label_bits s = 8 * String.length s
+end
+
+(* Shorthands for the instrumented accessors below. *)
+let note_label t u =
+  Trace.note Trace.Label ~node:u ~dist:t.dist.(u)
+    ~bits:(Trace.label_bits t.labels.(u))
+
+let note_id t u = Trace.note Trace.Id ~node:u ~dist:t.dist.(u) ~bits:0
+let note_port t u = Trace.note Trace.Port ~node:u ~dist:t.dist.(u) ~bits:0
+let note_structure t u = Trace.note Trace.Structure ~node:u ~dist:t.dist.(u) ~bits:0
+
 (* Build a view from explicit pieces: the ball nodes (global), a
    distance table, and lookup functions. Shared by [extract] and
    [subview1]. Visible edges are supplied explicitly. *)
@@ -90,15 +128,40 @@ let extract_all inst ~r =
   Array.init (Instance.order inst) (fun v -> extract inst ~r v)
 
 let center _ = 0
-let center_id t = t.ids.(0)
-let center_label t = t.labels.(0)
-let center_degree t = Graph.degree t.graph 0
-let size t = Graph.order t.graph
-let id t u = t.ids.(u)
-let label t u = t.labels.(u)
-let distance t u = t.dist.(u)
+
+let center_id t =
+  note_id t 0;
+  t.ids.(0)
+
+let center_label t =
+  note_label t 0;
+  t.labels.(0)
+
+let center_degree t =
+  note_structure t 0;
+  Graph.degree t.graph 0
+
+let size t =
+  (* knowing the ball size reveals its full extent *)
+  if Trace.active () then
+    Trace.note Trace.Structure ~node:0 ~dist:(Array.fold_left max 0 t.dist)
+      ~bits:0;
+  Graph.order t.graph
+
+let id t u =
+  note_id t u;
+  t.ids.(u)
+
+let label t u =
+  note_label t u;
+  t.labels.(u)
+
+let distance t u =
+  note_structure t u;
+  t.dist.(u)
 
 let port_of t a b =
+  note_port t a;
   let rec find i = function
     | [] -> raise Not_found
     | w :: _ when w = b -> t.ports.(a).(i)
@@ -106,11 +169,19 @@ let port_of t a b =
   in
   find 0 (Graph.neighbors t.graph a)
 
-let full_degree_known t u = t.dist.(u) < t.radius
+let full_degree_known t u =
+  note_structure t u;
+  t.dist.(u) < t.radius
 
 let find_by_id t i =
-  let m = size t in
-  let rec go u = if u = m then None else if t.ids.(u) = i then Some u else go (u + 1) in
+  let m = Graph.order t.graph in
+  let rec go u =
+    if u = m then None
+    else begin
+      note_id t u;
+      if t.ids.(u) = i then Some u else go (u + 1)
+    end
+  in
   go 0
 
 let center_neighbors t =
@@ -138,7 +209,9 @@ let restrict t ~r =
   if r = t.radius then t
   else begin
     let ball =
-      List.filter (fun u -> t.dist.(u) <= r) (List.init (size t) (fun i -> i))
+      List.filter
+        (fun u -> t.dist.(u) <= r)
+        (List.init (Graph.order t.graph) (fun i -> i))
     in
     let edges =
       List.filter
@@ -153,11 +226,20 @@ let restrict t ~r =
       ~edges
   end
 
-let map_labels t f = { t with labels = Array.map f t.labels }
-let mapi_labels t f = { t with labels = Array.mapi f t.labels }
+let note_all_labels t =
+  if Trace.active () then Array.iteri (fun u _ -> note_label t u) t.labels
+
+let map_labels t f =
+  (* the transformation consumes every certificate in the ball *)
+  note_all_labels t;
+  { t with labels = Array.map f t.labels }
+
+let mapi_labels t f =
+  note_all_labels t;
+  { t with labels = Array.mapi f t.labels }
 
 let reidentify t ~f ?id_bound () =
-  let m = size t in
+  let m = Graph.order t.graph in
   let new_ids = Array.map f t.ids in
   let max_id = Array.fold_left max 1 new_ids in
   let id_bound = match id_bound with Some b -> b | None -> max t.id_bound max_id in
@@ -178,7 +260,7 @@ let reidentify t ~f ?id_bound () =
 (* Canonical serialization. [relabel] maps local -> canonical index;
    [id_repr] chooses how identifiers appear in the key. *)
 let serialize t ~relabel ~id_repr =
-  let m = size t in
+  let m = Graph.order t.graph in
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "r=%d;N=%d;m=%d|" t.radius t.id_bound m);
   (* inverse of relabel: canonical index -> local *)
@@ -202,14 +284,14 @@ let serialize t ~relabel ~id_repr =
   done;
   Buffer.contents buf
 
-let identity_relabel t = Array.init (size t) (fun i -> i)
+let identity_relabel t = Array.init (Graph.order t.graph) (fun i -> i)
 
 let key_identified t =
   serialize t ~relabel:(identity_relabel t) ~id_repr:(fun u -> string_of_int t.ids.(u))
 
 let key_order_invariant t =
   (* replace ids by their rank within the ball *)
-  let m = size t in
+  let m = Graph.order t.graph in
   let sorted = Array.init m (fun i -> i) in
   Array.sort (fun a b -> Stdlib.compare t.ids.(a) t.ids.(b)) sorted;
   let rank = Array.make m 0 in
@@ -220,7 +302,7 @@ let key_order_invariant t =
 let key_anonymous t =
   (* port-directed BFS from the center: deterministic and independent of
      both ids and the (dist, id) storage order *)
-  let m = size t in
+  let m = Graph.order t.graph in
   let relabel = Array.make m (-1) in
   let next = ref 0 in
   let assign u =

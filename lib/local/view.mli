@@ -27,6 +27,46 @@ type t = private {
           neighbor in [Graph.neighbors graph u] (sorted order) *)
 }
 
+(** {1 Access tracing}
+
+    The sanitizer hook (see [Lcp_analysis]): while a trace is armed in
+    the calling domain, every read accessor below records what it
+    touched — which field class, which local node, at which distance
+    from the center, and (for certificates) how many bits. This is the
+    evidence base for machine-checking the locality / invariance /
+    certificate-taint contracts a decoder declares. Arming is
+    domain-local, so traced evaluations coexist with untraced engine
+    work on other domains; untraced code pays one domain-local lookup
+    per accessor call. *)
+
+module Trace : sig
+  type field =
+    | Label  (** a certificate string was read *)
+    | Id  (** a global identifier was read *)
+    | Port  (** a port number was read *)
+    | Structure  (** ball shape: degree, distance, size, fringe test *)
+
+  type event = {
+    field : field;
+    node : int;  (** local node index in the accessed view *)
+    dist : int;  (** that node's distance from the view's center *)
+    bits : int;  (** certificate bits (8 per byte) for [Label], else 0 *)
+  }
+
+  val record : (unit -> 'a) -> 'a * event list
+  (** [record f] runs [f] with recording armed in the calling domain
+      and returns its result with the accesses in occurrence order.
+      Nests: the enclosing recorder is restored afterwards (it does not
+      see the inner trace), also on exceptions. *)
+
+  val active : unit -> bool
+  (** Is a recorder armed in the calling domain? *)
+
+  val label_bits : string -> int
+  (** Certificate size in bits as charged to [Label] events
+      ([8 * String.length]). *)
+end
+
 val extract : Instance.t -> r:int -> int -> t
 (** The view of the given node. @raise Invalid_argument if [r < 1]. *)
 
