@@ -351,6 +351,52 @@ let series_engine_dedup ~fast () =
      %d misses)\n"
     cached_s (List.length again) hits misses
 
+(* The tentpole series: orderly generation vs the exhaustive mask
+   scan, both sequential so the row is a strategy comparison, not a
+   parallelism one. Returns the rows for BENCH_enumerate.json. *)
+let series_enumerate ~fast () =
+  Printf.printf
+    "\n== series: class enumeration, orderly generation vs mask scan \
+     (tentpole)\n";
+  Printf.printf "%6s %10s %12s %14s %10s %10s\n" "n" "classes" "orderly(s)"
+    "mask-scan(s)" "speedup" "identical";
+  let rows =
+    List.map
+      (fun n ->
+        let listing strategy =
+          Lcp_engine.Sweep.clear_cache ();
+          time (fun () ->
+              Lcp_engine.Sweep.iso_classes
+                ~cfg:(Run_cfg.sequential bench_cfg)
+                ~strategy n)
+        in
+        let o, o_s = listing Lcp_engine.Sweep.Orderly in
+        let m, m_s = listing Lcp_engine.Sweep.Mask_scan in
+        let identical =
+          List.length o = List.length m && List.for_all2 Graph.equal o m
+        in
+        assert identical;
+        Printf.printf "%6d %10d %12.3f %14.3f %9.1fx %10b\n" n (List.length o)
+          o_s m_s
+          (m_s /. Float.max o_s 1e-9)
+          identical;
+        (n, List.length o, o_s, m_s, identical))
+      (if fast then [ 4; 5; 6 ] else [ 5; 6; 7 ])
+  in
+  (* the new frontier, reachable by orderly generation alone: the
+     n = 8 mask space (2^28) is ~128x the n = 7 one the scan already
+     needs seconds for, so no mask-scan column *)
+  if not fast then begin
+    Lcp_engine.Sweep.clear_cache ();
+    let o, o_s =
+      time (fun () -> Lcp_engine.Sweep.iso_classes ~cfg:bench_cfg 8)
+    in
+    Printf.printf "%6d %10d %12.3f %14s %10s %10s\n" 8 (List.length o) o_s
+      "(mask scan infeasible)" "-" "-"
+  end;
+  Lcp_engine.Sweep.clear_cache ();
+  rows
+
 (* Returns the printed rows so the driver can serialize them into
    BENCH_sweep.json alongside the aggregate metrics. *)
 let series_engine_sweep ~fast () =
@@ -417,6 +463,34 @@ let write_sweep_json path rows =
       output_string oc "\n");
   Printf.printf "sweep series + metrics written to %s\n" path
 
+let write_enumerate_json path rows =
+  let ns s = int_of_float (s *. 1e9) in
+  let row (n, classes, orderly_s, mask_s, identical) =
+    Json.Obj
+      [
+        ("n", Json.Int n);
+        ("classes", Json.Int classes);
+        ("orderly_wall_ns", Json.Int (ns orderly_s));
+        ("mask_scan_wall_ns", Json.Int (ns mask_s));
+        ("identical", Json.Bool identical);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int bench_schema_version);
+        ("jobs", Json.Int 1);
+        ("enumerate", Json.List (List.map row rows));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty doc);
+      output_string oc "\n");
+  Printf.printf "enumerate series written to %s\n" path
+
 let series_sync () =
   Printf.printf
     "\n== series: flooding vs View.extract, random connected graphs (E13)\n";
@@ -452,7 +526,11 @@ let () =
   series_strong_checks ();
   series_scaling ();
   series_engine_dedup ~fast ();
+  let enumerate_rows = series_enumerate ~fast () in
   let sweep_rows = series_engine_sweep ~fast () in
   series_sync ();
   write_sweep_json metrics_out sweep_rows;
+  write_enumerate_json
+    (Filename.concat (Filename.dirname metrics_out) "BENCH_enumerate.json")
+    enumerate_rows;
   Printf.printf "\nbench done.\n"

@@ -21,6 +21,6 @@ let build ?(max_n = default_max_n) ?(samples = default_samples) ~rng
           let labels = Labeling.random rng ~alphabet g in
           items := { inst = Instance.with_labels base labels; honest = false } :: !items
         done)
-      (Enumerate.connected_up_to_iso n)
+      (Enumerate.classes n)
   done;
   List.rev !items

@@ -42,6 +42,7 @@ val strong_soundness_exhaustive :
 
 val soundness_sweep :
   ?cfg:Run_cfg.t ->
+  ?strategy:Lcp_engine.Sweep.strategy ->
   ?early_exit:bool ->
   Decoder.suite ->
   n:int ->
@@ -50,11 +51,14 @@ val soundness_sweep :
     non-bipartite graph on exactly [n] nodes, one representative per
     isomorphism class (enumerated, deduplicated and cached by
     {!Lcp_engine.Sweep}), must admit no unanimously accepted labeling.
-    A counterexample carries the accepted instance. [early_exit]
-    cancels remaining classes once a violation is found (the returned
-    counterexample is still the minimal one). [cfg] supplies the domain
-    count and collects the sweep's spans and counters, including
-    [labelings_checked] from the per-class certificate searches. *)
+    A counterexample carries the accepted instance. [strategy] selects
+    the enumeration path (default [Orderly]; [Mask_scan] is the
+    exhaustive oracle — both yield identical classes and verdicts).
+    [early_exit] cancels remaining classes once a violation is found
+    (the returned counterexample is still the minimal one). [cfg]
+    supplies the domain count and collects the sweep's spans and
+    counters, including [labelings_checked] from the per-class
+    certificate searches. *)
 
 val verdict_of_sweep : Instance.t Lcp_engine.Sweep.summary -> verdict
 (** Collapse a {!soundness_sweep} summary into a {!verdict}. *)

@@ -1,0 +1,25 @@
+(* popcount of every 16-bit value; 64 KB, built once at module init.
+   table.(i) = table.(i/2) + (i land 1) is the usual recurrence. *)
+let table =
+  let t = Bytes.make 65536 '\000' in
+  for i = 1 to 65535 do
+    Bytes.unsafe_set t i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get t (i lsr 1)) + (i land 1)))
+  done;
+  t
+
+let pop16 x = Char.code (Bytes.unsafe_get table (x land 0xffff))
+
+let popcount x =
+  pop16 x + pop16 (x lsr 16) + pop16 (x lsr 32) + pop16 (x lsr 48)
+
+let ntz x = popcount ((x land -x) - 1)
+
+let fold_bits f m acc =
+  let acc = ref acc and m = ref m in
+  while !m <> 0 do
+    let b = !m land - !m in
+    acc := f (ntz b) !acc;
+    m := !m lxor b
+  done;
+  !acc

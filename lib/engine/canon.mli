@@ -1,30 +1,55 @@
 (** Exact canonical forms for small graphs.
 
-    Isomorphism-class dedup used to be a pairwise
-    [Graph.isomorphic] filter — O(classes²) backtracking tests per
-    bucket. Here each graph is mapped once to a {e canonical mask}: the
-    minimum edge mask over all relabelings consistent with an
-    iterative-refinement (1-WL) partition of the nodes. Two graphs are
-    isomorphic iff their canonical masks (and orders) agree, so dedup
-    becomes a single hash-table probe and the cost is
-    O(graphs · refinement), independent of the number of classes.
+    Isomorphism-class dedup used to be a pairwise [Graph.isomorphic]
+    filter — O(classes²) backtracking tests per bucket. Here each
+    graph is mapped once to a {e canonical mask}: the minimum edge
+    mask over all relabelings consistent with an iterative-refinement
+    (1-WL) partition of the nodes. Two graphs are isomorphic iff their
+    canonical masks (and orders) agree, so dedup becomes a single
+    hash-table probe and the cost is O(graphs · refinement),
+    independent of the number of classes.
 
     The refinement partition is isomorphism-invariant (colors are
-    re-ranked by sorted signature each round), so minimizing only over
-    partition-respecting relabelings is exact. The permutation budget is
-    [Π |cell|!], which collapses to a handful of candidates on all but
-    highly regular graphs. *)
+    re-ranked by integer signature each round), so minimizing only
+    over partition-respecting relabelings is exact. The bijection
+    search assigns labels from [n-1] downward with lexicographic
+    early-abort pruning: a partial permutation is abandoned as soon as
+    the mask bits it has emitted exceed the incumbent best on the same
+    slots, which collapses the [Π |cell|!] permutation budget to a
+    handful of explored branches on all but highly regular graphs.
+
+    All functions require order [<= 11] (the 55-slot edge mask plus
+    the 4 order bits of {!key} must fit an OCaml [int]) and raise
+    [Invalid_argument] beyond it. *)
 
 open Lcp_graph
+
+val max_order : int
+(** [11]: largest order whose edge mask (55 bits) plus {!key}'s 4
+    order bits fits an OCaml [int]. *)
 
 val canonical_mask : n:int -> int array -> int
 (** [canonical_mask ~n adj] over adjacency bitsets
     (see {!Chunk.adj_of_mask}). *)
 
-val key_adj : n:int -> int array -> string
-(** ["n:canonical_mask"] — equal iff the graphs are isomorphic. *)
+val min_mask : ?init:int -> n:int -> int array -> int
+(** [min_mask ~n adj] is the exact minimum edge mask over {e all}
+    [n!] relabelings — the smallest edge mask of any member of the
+    graph's isomorphism class, i.e. the representative a full
+    ascending mask scan would keep. Same branch-and-bound as
+    {!canonical_mask} but over the trivial one-cell partition; [init]
+    seeds the incumbent with a known member's mask (e.g. the
+    canonical mask) to tighten pruning. Unlike {!canonical_mask} it
+    does not depend on the refinement's cell order, so it is the
+    stable cross-strategy representative. *)
 
-val key : Graph.t -> string
+val key_adj : n:int -> int array -> int
+(** The canonical mask with the order packed into the low 4 bits —
+    equal iff the graphs are isomorphic. (Replaces the historical
+    ["n:mask"] string keys: an int compares and hashes without
+    allocating.) *)
+
+val key : Graph.t -> int
 
 val canonical_graph : Graph.t -> Graph.t
 (** The canonical representative of the graph's isomorphism class. *)

@@ -75,12 +75,11 @@ let is_connected_adj adj =
     let seen = ref 1 in
     let frontier = ref 1 in
     while !frontier <> 0 && !seen <> all do
-      let next = ref 0 in
-      for v = 0 to n - 1 do
-        if !frontier land (1 lsl v) <> 0 then next := !next lor adj.(v)
-      done;
-      frontier := !next land lnot !seen;
-      seen := !seen lor !next
+      (* union of the frontier's adjacency rows, iterating set bits
+         only (Bits.ntz) instead of scanning all n candidates *)
+      let next = Bits.fold_bits (fun v acc -> acc lor adj.(v)) !frontier 0 in
+      frontier := next land lnot !seen;
+      seen := !seen lor next
     done;
     !seen = all
   end

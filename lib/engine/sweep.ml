@@ -4,17 +4,28 @@ module R = Lcp_obs.Run_cfg
 (* ------------------------------------------------------------------ *)
 (* enumeration + canonical dedup                                       *)
 
+type strategy = Orderly | Mask_scan
+
+let strategy_name = function Orderly -> "orderly" | Mask_scan -> "mask-scan"
+
+let strategy_of_string = function
+  | "orderly" -> Some Orderly
+  | "mask-scan" | "mask_scan" -> Some Mask_scan
+  | _ -> None
+
 type enum_tallies = {
-  e_scanned : int;
+  e_candidates : int;
   e_connected : int;
   e_classes : int;
   e_dedup_hits : int;
 }
 
-(* Each chunk dedups locally (canonical mask -> smallest edge mask);
-   the sequential merge keeps the smallest mask per class, so the
-   result is independent of chunk scheduling and of [jobs]. *)
-let enumerate_classes ~cfg ~connected n =
+(* The historical exhaustive path, kept as a cross-validation oracle:
+   every mask of the labeled space is scanned and canonicalized. Each
+   chunk dedups locally (canonical mask -> smallest edge mask); the
+   sequential merge keeps the smallest mask per class, so the result
+   is independent of chunk scheduling and of [jobs]. *)
+let enumerate_mask_scan ~cfg ~connected n =
   let chunk_bits = max 12 (Chunk.slots n - 6) in
   let chunks = Array.of_list (Chunk.plan ~chunk_bits n) in
   let per_chunk =
@@ -55,7 +66,7 @@ let enumerate_classes ~cfg ~connected n =
   let reps = List.map (Chunk.graph_of_mask n) masks in
   let tallies =
     {
-      e_scanned = !scanned;
+      e_candidates = !scanned;
       e_connected = !conn;
       e_classes = List.length masks;
       e_dedup_hits = !conn - List.length masks;
@@ -63,10 +74,34 @@ let enumerate_classes ~cfg ~connected n =
   in
   (reps, tallies)
 
+(* The orderly generator: work proportional to the class count, not
+   the mask space. Representatives are the same minimal-mask members
+   the scan keeps ({!Canon.min_mask}), so the two strategies return
+   bit-identical listings. *)
+let enumerate_orderly ~cfg ~connected n =
+  let masks, t =
+    Orderly.generate ~jobs:cfg.R.jobs ~metrics:cfg.R.metrics ~connected n
+  in
+  let reps = List.map (Chunk.graph_of_mask n) masks in
+  let tallies =
+    {
+      e_candidates = t.Orderly.candidates;
+      e_connected = t.Orderly.connected_classes;
+      e_classes = t.Orderly.classes;
+      e_dedup_hits = t.Orderly.dedup_hits;
+    }
+  in
+  (reps, tallies)
+
+let enumerate_classes ~cfg ~strategy ~connected n =
+  match strategy with
+  | Orderly -> enumerate_orderly ~cfg ~connected n
+  | Mask_scan -> enumerate_mask_scan ~cfg ~connected n
+
 (* ------------------------------------------------------------------ *)
 (* the cross-sweep class cache                                         *)
 
-let cache : (int * bool, Graph.t list * enum_tallies) Hashtbl.t =
+let cache : (int * bool * strategy, Graph.t list * enum_tallies) Hashtbl.t =
   Hashtbl.create 16
 
 let cache_lock = Mutex.create ()
@@ -77,13 +112,14 @@ let misses = ref 0
    [cfg]: cache traffic, plus the enumeration tallies of the listing it
    returns — cached or not — so counters stay deterministic in [jobs]
    and in cache temperature alike. *)
-let classes_cached ~cfg ~connected n =
+let classes_cached ~cfg ?(strategy = Orderly) ~connected n =
   (* materialize both cache counters so an all-hit (or all-miss) run
      serializes the same key set as any other *)
   R.count cfg ~by:0 "cache_hits";
   R.count cfg ~by:0 "cache_misses";
+  let key = (n, connected, strategy) in
   Mutex.lock cache_lock;
-  let cached = Hashtbl.find_opt cache (n, connected) in
+  let cached = Hashtbl.find_opt cache key in
   (match cached with Some _ -> incr hits | None -> incr misses);
   Mutex.unlock cache_lock;
   let ((_, e) as entry) =
@@ -96,22 +132,22 @@ let classes_cached ~cfg ~connected n =
         (* compute outside the lock: workers must not hold it, and a
            duplicated computation on a race is deterministic anyway *)
         let entry =
-          R.span cfg "enumerate" (fun () -> enumerate_classes ~cfg ~connected n)
+          R.span cfg "enumerate" (fun () ->
+              enumerate_classes ~cfg ~strategy ~connected n)
         in
         Mutex.lock cache_lock;
-        if not (Hashtbl.mem cache (n, connected)) then
-          Hashtbl.replace cache (n, connected) entry;
+        if not (Hashtbl.mem cache key) then Hashtbl.replace cache key entry;
         Mutex.unlock cache_lock;
         entry
   in
-  R.count cfg ~by:e.e_scanned "masks_scanned";
+  R.count cfg ~by:e.e_candidates "candidates_generated";
   R.count cfg ~by:e.e_connected "connected";
   R.count cfg ~by:e.e_classes "classes";
   R.count cfg ~by:e.e_dedup_hits "dedup_hits";
   entry
 
-let iso_classes ?(cfg = R.default) ?(connected = true) n =
-  fst (classes_cached ~cfg ~connected n)
+let iso_classes ?(cfg = R.default) ?strategy ?(connected = true) n =
+  fst (classes_cached ~cfg ?strategy ~connected n)
 
 let cache_stats () = (!hits, !misses)
 
@@ -122,13 +158,21 @@ let clear_cache () =
   misses := 0;
   Mutex.unlock cache_lock
 
+(* Enumerate's streaming class API delegates here when the engine is
+   linked: same representatives, same order, but generated by orderly
+   augmentation and memoized across calls instead of re-running the
+   brute-force pairwise dedup. *)
+let () =
+  Enumerate.set_class_generator (fun ~connected n ->
+      iso_classes ~cfg:R.default ~connected n)
+
 (* ------------------------------------------------------------------ *)
 (* sweeps                                                              *)
 
 type mode = Exhaustive | Search_counterexample
 
 type counters = {
-  scanned : int;
+  candidates : int;
   connected : int;
   classes : int;
   dedup_hits : int;
@@ -142,17 +186,18 @@ type 'c summary = {
   n : int;
   jobs : int;
   mode : mode;
+  strategy : strategy;
   counters : counters;
   counterexample : (Graph.t * 'c) option;
   wall_s : float;
 }
 
-let run ?(cfg = R.default) ?(mode = Exhaustive) ?(connected = true)
-    ?(keep = fun _ -> true) ~n ~check () =
+let run ?(cfg = R.default) ?(strategy = Orderly) ?(mode = Exhaustive)
+    ?(connected = true) ?(keep = fun _ -> true) ~n ~check () =
   R.span cfg "sweep" (fun () ->
       let t0 = Lcp_obs.Clock.now_s () in
       let jobs = cfg.R.jobs in
-      let reps, e = classes_cached ~cfg ~connected n in
+      let reps, e = classes_cached ~cfg ~strategy ~connected n in
       let targets = Array.of_list (List.filter keep reps) in
       let kept = Array.length targets in
       R.count cfg ~by:kept "kept";
@@ -198,9 +243,10 @@ let run ?(cfg = R.default) ?(mode = Exhaustive) ?(connected = true)
         n;
         jobs;
         mode;
+        strategy;
         counters =
           {
-            scanned = e.e_scanned;
+            candidates = e.e_candidates;
             connected = e.e_connected;
             classes = e.e_classes;
             dedup_hits = e.e_dedup_hits;
@@ -216,8 +262,8 @@ let run ?(cfg = R.default) ?(mode = Exhaustive) ?(connected = true)
 let pp_summary ppf s =
   let c = s.counters in
   Format.fprintf ppf
-    "@[<v>sweep n=%d jobs=%d mode=%s@,\
-     masks scanned   %d@,\
+    "@[<v>sweep n=%d jobs=%d mode=%s strategy=%s@,\
+     candidates      %d@,\
      connected       %d@,\
      iso classes     %d (dedup folded %d)@,\
      kept / checked  %d / %d@,\
@@ -228,8 +274,8 @@ let pp_summary ppf s =
     (match s.mode with
     | Exhaustive -> "exhaustive"
     | Search_counterexample -> "search")
-    c.scanned c.connected c.classes c.dedup_hits c.kept c.checked c.passed
-    c.violations
+    (strategy_name s.strategy) c.candidates c.connected c.classes c.dedup_hits
+    c.kept c.checked c.passed c.violations
     (match s.counterexample with
     | None -> "none"
     | Some (g, _) -> Graph.to_string g)

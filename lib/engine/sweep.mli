@@ -3,11 +3,19 @@
     Every theorem-check in this reproduction reduces to the same sweep:
     enumerate an exhaustive space of small graphs, keep one
     representative per isomorphism class, and run a verifier over the
-    survivors. The engine runs that sweep batched (mask-range chunks,
-    {!Chunk}), deduplicated by canonical form ({!Canon}), parallel
-    ({!Pool}), and cached (iso-class listings are memoized across
-    sweeps, so the many experiments that re-enumerate the same orders
-    pay for enumeration once per process).
+    survivors. The engine runs that sweep deduplicated by canonical
+    form ({!Canon}), parallel ({!Pool}), and cached (iso-class
+    listings are memoized across sweeps, so the many experiments that
+    re-enumerate the same orders pay for enumeration once per
+    process).
+
+    Class listings come from one of two {!type:strategy}s — the
+    default {!Orderly} canonical-augmentation generator ({!Orderly}),
+    whose work scales with the class count, or the historical
+    exhaustive {!Mask_scan} over the [2^(n choose 2)] labeled space,
+    kept as an escape hatch and cross-validation oracle. Both return
+    the identical listing: the minimal-edge-mask member of each class,
+    ascending.
 
     Results are deterministic in [jobs]: class listings, summaries and
     counterexamples are bit-identical whether the sweep runs on one
@@ -16,24 +24,52 @@
     Every entry point takes an {!Lcp_obs.Run_cfg.t} (defaulting to
     [Run_cfg.default]) that supplies the domain count and receives the
     sweep's instrumentation: spans [sweep], [sweep/enumerate] and
-    [sweep/check]; deterministic counters [masks_scanned], [connected],
-    [classes], [dedup_hits], [kept], [cache_hits], [cache_misses] (and,
-    in [Exhaustive] mode, [checked] / [passed] / [violations]); and the
-    [early_exit_round] gauge in [Search_counterexample] mode. *)
+    [sweep/check]; deterministic counters [candidates_generated],
+    [connected], [classes], [dedup_hits], [kept], [cache_hits],
+    [cache_misses] (and, in [Exhaustive] mode, [checked] / [passed] /
+    [violations]); and the [early_exit_round] gauge in
+    [Search_counterexample] mode. [candidates_generated] (which
+    replaces the pre-schema-2 [masks_scanned]) and [connected] /
+    [dedup_hits] are deterministic {e per strategy}: each strategy
+    counts its own notion of candidate (scanned masks vs. extension
+    candidates; see {!type:counters}). *)
 
 open Lcp_graph
+
+(** {1 Enumeration strategy} *)
+
+type strategy =
+  | Orderly
+      (** Canonical augmentation ({!Orderly.generate}): one candidate
+          per (parent class, neighborhood bitmask) pair — work
+          proportional to the number of classes. The default. *)
+  | Mask_scan
+      (** Exhaustive scan of all [2^(n choose 2)] edge masks with
+          canonical dedup. Infeasible past [n = 7]; kept as the
+          independent oracle the generator is validated against. *)
+
+val strategy_name : strategy -> string
+(** ["orderly"] / ["mask-scan"]. *)
+
+val strategy_of_string : string -> strategy option
+(** Inverse of {!strategy_name} (also accepts ["mask_scan"]). *)
 
 (** {1 Cached isomorphism classes} *)
 
 val iso_classes :
-  ?cfg:Lcp_obs.Run_cfg.t -> ?connected:bool -> int -> Graph.t list
+  ?cfg:Lcp_obs.Run_cfg.t ->
+  ?strategy:strategy ->
+  ?connected:bool ->
+  int ->
+  Graph.t list
 (** One representative (the one with the smallest edge mask) per
     isomorphism class of graphs on [n] nodes ([connected] defaults to
-    [true]: connected graphs only). Enumerated in parallel chunks,
-    deduplicated via {!Canon.canonical_mask}, returned in ascending
-    mask order, and memoized across calls. Reports cache traffic and
-    the listing's enumeration tallies into [cfg] on every call, cached
-    or not, so counters do not depend on cache temperature. *)
+    [true]: connected graphs only), in ascending mask order, memoized
+    across calls per [(n, connected, strategy)]. Both strategies
+    return bit-identical listings; [strategy] (default {!Orderly})
+    only selects how they are produced. Reports cache traffic and the
+    listing's enumeration tallies into [cfg] on every call, cached or
+    not, so counters do not depend on cache temperature. *)
 
 val cache_stats : unit -> int * int
 (** [(hits, misses)] of the cross-sweep iso-class cache, process-wide
@@ -55,10 +91,16 @@ type mode =
           identical to an [Exhaustive] run. *)
 
 type counters = {
-  scanned : int;  (** labeled graphs decoded from masks *)
-  connected : int;  (** survivors of the connectivity filter *)
-  classes : int;  (** isomorphism classes *)
-  dedup_hits : int;  (** labeled graphs folded into an existing class *)
+  candidates : int;
+      (** enumeration candidates examined — labeled masks decoded
+          under {!Mask_scan}, (parent, neighborhood-bitmask) extension
+          pairs under {!Orderly}. Deterministic per strategy. *)
+  connected : int;
+      (** survivors of the connectivity filter — labeled graphs under
+          {!Mask_scan}, final-level classes under {!Orderly} *)
+  classes : int;  (** isomorphism classes (strategy-independent) *)
+  dedup_hits : int;
+      (** candidates folded into an already-seen canonical form *)
   kept : int;  (** classes surviving the [keep] filter *)
   checked : int;  (** classes the verifier actually ran on *)
   passed : int;
@@ -67,12 +109,13 @@ type counters = {
 (** Per-worker tallies merged into one record. In
     [Search_counterexample] mode [checked]/[passed] may vary with
     [jobs] (cancelled work is not checked); everything else is
-    deterministic. *)
+    deterministic given the strategy. *)
 
 type 'c summary = {
   n : int;
   jobs : int;
   mode : mode;
+  strategy : strategy;
   counters : counters;
   counterexample : (Graph.t * 'c) option;
       (** the violating class with the smallest edge mask *)
@@ -81,6 +124,7 @@ type 'c summary = {
 
 val run :
   ?cfg:Lcp_obs.Run_cfg.t ->
+  ?strategy:strategy ->
   ?mode:mode ->
   ?connected:bool ->
   ?keep:(Graph.t -> bool) ->
@@ -88,12 +132,12 @@ val run :
   check:(Graph.t -> 'c option) ->
   unit ->
   'c summary
-(** Sweep the [n]-node space: enumerate + dedup (cached), filter the
-    representatives through [keep] (which must be
-    isomorphism-invariant — it runs on one representative per class),
-    and run [check] on each kept class in parallel on [cfg.jobs]
-    domains ([Run_cfg.sequential cfg] for a strictly sequential
-    sweep). [check g = Some c] reports a violation [c]; [None] is an
-    accept. *)
+(** Sweep the [n]-node space: enumerate + dedup (cached, via
+    [strategy], default {!Orderly}), filter the representatives
+    through [keep] (which must be isomorphism-invariant — it runs on
+    one representative per class), and run [check] on each kept class
+    in parallel on [cfg.jobs] domains ([Run_cfg.sequential cfg] for a
+    strictly sequential sweep). [check g = Some c] reports a violation
+    [c]; [None] is an accept. *)
 
 val pp_summary : Format.formatter -> 'c summary -> unit

@@ -141,13 +141,18 @@ let chromatic_number g =
 let greedy g =
   let n = Graph.order g in
   let colors = Array.make n (-1) in
+  (* forbidden.(c) marks colors used by already-colored neighbors; at
+     most deg(v) <= n-1 of them, so the first free color is < n and a
+     single bool scratch array replaces the O(deg^2) List.mem scan *)
+  let forbidden = Array.make (max n 1) false in
   for v = 0 to n - 1 do
-    let forbidden =
-      List.filter_map
-        (fun w -> if colors.(w) >= 0 then Some colors.(w) else None)
-        (Graph.neighbors g v)
-    in
-    let rec first c = if List.mem c forbidden then first (c + 1) else c in
-    colors.(v) <- first 0
+    let nbrs = Graph.neighbors g v in
+    List.iter (fun w -> if colors.(w) >= 0 then forbidden.(colors.(w)) <- true) nbrs;
+    let c = ref 0 in
+    while forbidden.(!c) do
+      incr c
+    done;
+    colors.(v) <- !c;
+    List.iter (fun w -> if colors.(w) >= 0 then forbidden.(colors.(w)) <- false) nbrs
   done;
   colors

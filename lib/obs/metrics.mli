@@ -71,6 +71,10 @@ val spans : t -> (string * (int * int)) list
 (** {1 Serialization} *)
 
 val schema_version : int
+(** Currently [2]. v2 renamed the engine's [masks_scanned] counter to
+    [candidates_generated] (enumeration strategies other than the mask
+    scan count candidates that are not masks); the JSON layout is
+    unchanged. *)
 
 val to_json : t -> Json.t
 (** [{ "schema_version"; "counters"; "gauges"; "spans" }] with every
@@ -78,7 +82,9 @@ val to_json : t -> Json.t
 
 val of_json : Json.t -> (t, string) result
 (** Inverse of {!to_json} (up to span-stack state, which is not
-    serialized): [of_json (to_json t)] renders back to the same JSON. *)
+    serialized): [of_json (to_json t)] renders back to the same JSON.
+    Accepts v1 files as well (same layout, older counter names kept
+    verbatim). *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable dump (the stderr sink's flush format). *)

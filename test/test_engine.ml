@@ -1,8 +1,9 @@
-(* The Lcp_engine battery: canonical forms, the domain pool, cached
-   iso-class enumeration, and sweep determinism across jobs counts.
+(* The Lcp_engine battery: bit kernels, canonical forms, the domain
+   pool, orderly generation cross-validated against the mask scan, and
+   sweep determinism across jobs counts.
 
-   The expensive n = 7 regression (853 connected classes) only runs
-   when LCP_HEAVY is set: `LCP_HEAVY=1 dune runtest`. *)
+   The expensive n = 7 / n = 8 regressions (853 / 11,117 connected
+   classes) only run when LCP_HEAVY is set: `LCP_HEAVY=1 dune runtest`. *)
 
 open Lcp_graph
 open Lcp_engine
@@ -13,6 +14,37 @@ open Helpers
 let cfg jobs = Lcp_obs.Run_cfg.make ~jobs ()
 
 let heavy_enabled = Sys.getenv_opt "LCP_HEAVY" <> None
+
+(* ------------------------------------------------------------------ *)
+(* Bits                                                                *)
+
+let test_bits_popcount () =
+  let naive x =
+    let c = ref 0 in
+    for i = 0 to 62 do
+      if x land (1 lsl i) <> 0 then incr c
+    done;
+    !c
+  in
+  check_int "popcount 0" 0 (Bits.popcount 0);
+  check_int "popcount max_int" 62 (Bits.popcount max_int);
+  for x = 0 to 4096 do
+    check_int "popcount vs naive (low)" (naive x) (Bits.popcount x);
+    let hi = x * 0x40021 lxor (x lsl 40) in
+    check_int "popcount vs naive (wide)" (naive hi) (Bits.popcount hi)
+  done
+
+let test_bits_ntz_fold () =
+  for i = 0 to 62 do
+    check_int "ntz of a single bit" i (Bits.ntz (1 lsl i))
+  done;
+  check_int "ntz picks the lowest bit" 3 (Bits.ntz 0b1011000);
+  let bits m = List.rev (Bits.fold_bits (fun i acc -> i :: acc) m []) in
+  check_bool "fold_bits lists set bits ascending" true
+    (bits 0b1011001 = [ 0; 3; 4; 6 ]);
+  check_bool "fold_bits on 0" true (bits 0 = []);
+  check_int "fold_bits count = popcount" (Bits.popcount 0xdeadbeef)
+    (Bits.fold_bits (fun _ acc -> acc + 1) 0xdeadbeef 0)
 
 (* ------------------------------------------------------------------ *)
 (* Chunk                                                               *)
@@ -51,8 +83,8 @@ let test_canon_iso_invariant () =
       let k = Canon.key g in
       List.iter
         (fun p ->
-          check_bool "key invariant under relabeling" true
-            (String.equal k (Canon.key (Graph.relabel g p))))
+          check_int "key invariant under relabeling" k
+            (Canon.key (Graph.relabel g p)))
         perms)
     (Enumerate.connected_up_to_iso 5)
 
@@ -72,6 +104,27 @@ let test_canonical_graph () =
     (Canon.canonical_graph shuffled);
   check_bool "representative stays isomorphic" true
     (Graph.isomorphic c5 (Canon.canonical_graph c5))
+
+let test_min_mask_exact () =
+  (* min_mask is the least labeled mask of the class: verify against a
+     literal scan of the whole 4-node space *)
+  let least = Hashtbl.create 16 in
+  for mask = 0 to Chunk.space 4 - 1 do
+    let key = Canon.key_adj ~n:4 (Chunk.adj_of_mask 4 mask) in
+    if not (Hashtbl.mem least key) then Hashtbl.replace least key mask
+  done;
+  for mask = 0 to Chunk.space 4 - 1 do
+    let adj = Chunk.adj_of_mask 4 mask in
+    let key = Canon.key_adj ~n:4 adj in
+    check_int "min_mask = least member of the class"
+      (Hashtbl.find least key)
+      (Canon.min_mask ~n:4 adj)
+  done;
+  (* an [init] seed from a class member must not change the result *)
+  let p3 = Chunk.adj_of_mask 3 (Canon.canonical_mask ~n:3 (Chunk.adj_of_mask 3 0b110)) in
+  check_int "init seed is only a bound"
+    (Canon.min_mask ~n:3 (Chunk.adj_of_mask 3 0b110))
+    (Canon.min_mask ~init:(Chunk.mask_of_graph (Chunk.graph_of_mask 3 0b110)) ~n:3 p3)
 
 (* ------------------------------------------------------------------ *)
 (* Pool                                                                *)
@@ -114,6 +167,65 @@ let test_pool_exception_propagates () =
     [ 1; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Orderly vs mask scan: the cross-validation core                     *)
+
+(* OEIS A001349 (connected) and A000088 (all) — the pins the
+   reproduction's exhaustive frontier hangs on. *)
+let connected_counts = [ (1, 1); (2, 1); (3, 2); (4, 6); (5, 21); (6, 112) ]
+let all_counts = [ (1, 1); (2, 2); (3, 4); (4, 11); (5, 34); (6, 156) ]
+
+let classes_with strategy ~connected n =
+  Sweep.clear_cache ();
+  Sweep.iso_classes ~cfg:(cfg 2) ~strategy ~connected n
+
+let test_strategies_agree () =
+  List.iter
+    (fun connected ->
+      for n = 1 to 6 do
+        let o = classes_with Sweep.Orderly ~connected n in
+        let m = classes_with Sweep.Mask_scan ~connected n in
+        check_int
+          (Printf.sprintf "class count n=%d connected=%b" n connected)
+          (List.length m) (List.length o);
+        List.iter2
+          (fun a b -> check_graph "identical representative" a b)
+          o m
+      done)
+    [ true; false ];
+  Sweep.clear_cache ()
+
+let test_orderly_oeis_counts () =
+  List.iter
+    (fun (n, expected) ->
+      check_int
+        (Printf.sprintf "A001349 n=%d" n)
+        expected
+        (List.length (classes_with Sweep.Orderly ~connected:true n)))
+    connected_counts;
+  List.iter
+    (fun (n, expected) ->
+      check_int
+        (Printf.sprintf "A000088 n=%d" n)
+        expected
+        (List.length (classes_with Sweep.Orderly ~connected:false n)))
+    all_counts;
+  Sweep.clear_cache ()
+
+let test_orderly_deterministic_in_jobs () =
+  let gen jobs =
+    let masks, t = Orderly.generate ~jobs ~connected:true 6 in
+    (masks, t.Orderly.candidates, t.Orderly.dedup_hits, t.Orderly.classes)
+  in
+  let base = gen 1 in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "orderly output bit-identical at jobs=%d" jobs)
+        true
+        (gen jobs = base))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Sweep: cached classes                                               *)
 
 let test_iso_classes_counts () =
@@ -124,7 +236,7 @@ let test_iso_classes_counts () =
         (Printf.sprintf "connected classes n=%d" n)
         expected
         (List.length (Sweep.iso_classes ~cfg:(cfg 2) n)))
-    [ (1, 1); (2, 1); (3, 2); (4, 6); (5, 21); (6, 112) ];
+    connected_counts;
   (* including disconnected graphs: 11 classes on 4 nodes *)
   check_int "all classes n=4" 11
     (List.length (Sweep.iso_classes ~cfg:(cfg 2) ~connected:false 4))
@@ -138,15 +250,12 @@ let test_iso_classes_deterministic () =
   List.iter2 (fun a b -> check_graph "identical representative" a b) seq par
 
 let test_iso_classes_agree_with_enumerate () =
-  (* same classes as the brute-force path, up to isomorphism *)
+  (* same classes as the brute-force path — representatives and order
+     included, which is the [Enumerate.classes] delegation contract *)
   let engine = Sweep.iso_classes ~cfg:(cfg 2) 4 in
   let brute = Enumerate.connected_up_to_iso 4 in
   check_int "class count vs Enumerate" (List.length brute) (List.length engine);
-  List.iter
-    (fun g ->
-      check_bool "class represented" true
-        (List.exists (Graph.isomorphic g) brute))
-    engine
+  List.iter2 (fun a b -> check_graph "identical representative" a b) brute engine
 
 let test_class_cache_hits () =
   Sweep.clear_cache ();
@@ -158,7 +267,12 @@ let test_class_cache_hits () =
   ignore (Sweep.iso_classes ~cfg:(cfg 1) 5);
   let h1, m1 = Sweep.cache_stats () in
   check_int "repeat sweeps hit" 2 (h1 - h0);
-  check_int "no recompute" m0 m1
+  check_int "no recompute" m0 m1;
+  (* the two strategies are distinct cache entries *)
+  ignore (Sweep.iso_classes ~cfg:(cfg 1) ~strategy:Sweep.Mask_scan 5);
+  let _, m2 = Sweep.cache_stats () in
+  check_int "strategy is part of the cache key" (m1 + 1) m2;
+  Sweep.clear_cache ()
 
 (* ------------------------------------------------------------------ *)
 (* Sweep: verdict determinism                                          *)
@@ -177,24 +291,27 @@ let has_triangle g =
 let violation_check g = if has_triangle g then Some (Graph.size g) else None
 
 let test_sweep_deterministic_across_jobs () =
-  let run jobs mode =
-    Sweep.run ~cfg:(cfg jobs) ~mode ~n:5 ~check:violation_check ()
+  let run jobs mode strategy =
+    Sweep.run ~cfg:(cfg jobs) ~strategy ~mode ~n:5 ~check:violation_check ()
   in
-  let base = run 1 Sweep.Exhaustive in
+  let base = run 1 Sweep.Exhaustive Sweep.Orderly in
   check_bool "violations exist on 5 nodes" true
     (base.Sweep.counterexample <> None);
   List.iter
     (fun jobs ->
       List.iter
         (fun mode ->
-          let s = run jobs mode in
-          check_int "same classes" base.Sweep.counters.Sweep.classes
-            s.Sweep.counters.Sweep.classes;
-          match (base.Sweep.counterexample, s.Sweep.counterexample) with
-          | Some (g, c), Some (g', c') ->
-              check_graph "identical counterexample graph" g g';
-              check_int "identical counterexample payload" c c'
-          | _ -> Alcotest.fail "verdict flipped across jobs")
+          List.iter
+            (fun strategy ->
+              let s = run jobs mode strategy in
+              check_int "same classes" base.Sweep.counters.Sweep.classes
+                s.Sweep.counters.Sweep.classes;
+              match (base.Sweep.counterexample, s.Sweep.counterexample) with
+              | Some (g, c), Some (g', c') ->
+                  check_graph "identical counterexample graph" g g';
+                  check_int "identical counterexample payload" c c'
+              | _ -> Alcotest.fail "verdict flipped across jobs")
+            [ Sweep.Orderly; Sweep.Mask_scan ])
         [ Sweep.Exhaustive; Sweep.Search_counterexample ])
     [ 1; 2; 4 ]
 
@@ -222,27 +339,60 @@ let test_sweep_keep_filter () =
     (s.Sweep.counters.Sweep.kept < s.Sweep.counters.Sweep.classes)
 
 (* ------------------------------------------------------------------ *)
-(* heavy regression: n = 7                                             *)
+(* heavy regressions: n = 7, n = 8                                     *)
 
 let test_n7_classes () =
   if not heavy_enabled then ()
   else begin
+    Sweep.clear_cache ();
     let s = Sweep.run ~n:7 ~check:(fun _ -> None) () in
-    check_int "853 connected classes on 7 nodes" 853
+    check_int "853 connected classes on 7 nodes (orderly)" 853
       s.Sweep.counters.Sweep.classes;
-    check_int "2^21 masks scanned" (Chunk.space 7) s.Sweep.counters.Sweep.scanned
+    let m =
+      Sweep.run ~strategy:Sweep.Mask_scan ~n:7 ~check:(fun _ -> None) ()
+    in
+    check_int "853 connected classes on 7 nodes (mask scan)" 853
+      m.Sweep.counters.Sweep.classes;
+    check_int "2^21 candidates under the mask scan" (Chunk.space 7)
+      m.Sweep.counters.Sweep.candidates;
+    check_bool "orderly examined far fewer candidates" true
+      (s.Sweep.counters.Sweep.candidates * 10 < m.Sweep.counters.Sweep.candidates);
+    (* identical listings at the old frontier *)
+    let o7 = Sweep.iso_classes 7 in
+    let m7 = Sweep.iso_classes ~strategy:Sweep.Mask_scan 7 in
+    List.iter2 (fun a b -> check_graph "identical n=7 representative" a b) o7 m7;
+    Sweep.clear_cache ()
+  end
+
+let test_n8_frontier () =
+  (* the new frontier: out of reach for the mask scan (2^28 masks),
+     directly generated by orderly augmentation *)
+  if not heavy_enabled then ()
+  else begin
+    Sweep.clear_cache ();
+    check_int "11117 connected classes on 8 nodes" 11117
+      (List.length (Sweep.iso_classes ~cfg:(cfg 0) 8));
+    check_int "12346 classes on 8 nodes" 12346
+      (List.length (Sweep.iso_classes ~cfg:(cfg 0) ~connected:false 8));
+    Sweep.clear_cache ()
   end
 
 let suite =
   [
+    case "bits popcount" test_bits_popcount;
+    case "bits ntz / fold_bits" test_bits_ntz_fold;
     case "chunk plan covers the space" test_chunk_plan;
     case "mask decode/encode roundtrip" test_mask_roundtrip;
     case "canonical key is iso-invariant" test_canon_iso_invariant;
     case "canonical key separates classes" test_canon_separates;
     case "canonical representative" test_canonical_graph;
+    case "min_mask is the least class member" test_min_mask_exact;
     case "pool run = sequential" test_pool_run_matches_sequential;
     case "pool search returns minimal match" test_pool_search_minimal;
     case "pool propagates exceptions" test_pool_exception_propagates;
+    case "orderly = mask scan on n<=6" test_strategies_agree;
+    case "orderly matches OEIS counts" test_orderly_oeis_counts;
+    case "orderly deterministic in jobs" test_orderly_deterministic_in_jobs;
     case "iso-class counts n<=6" test_iso_classes_counts;
     case "iso classes deterministic in jobs" test_iso_classes_deterministic;
     case "iso classes agree with Enumerate" test_iso_classes_agree_with_enumerate;
@@ -251,4 +401,5 @@ let suite =
     case "sweep on a clean space" test_sweep_clean_space;
     case "sweep keep filter" test_sweep_keep_filter;
     slow_case "853 classes on n=7 (LCP_HEAVY)" test_n7_classes;
+    slow_case "11117 classes on n=8 (LCP_HEAVY)" test_n8_frontier;
   ]

@@ -60,6 +60,31 @@ let test_metrics_json_roundtrip () =
           Alcotest.(check string) "byte-identical re-rendering" s
             (Json.to_string (Metrics.to_json m')))
 
+let test_schema_versions () =
+  check_int "schema_version bumped for the counter rename" 2
+    Metrics.schema_version;
+  (* v1 files (pre-rename counter vocabulary, same layout) still load *)
+  let v1 =
+    {|{"schema_version": 1, "counters": {"masks_scanned": 64},
+       "gauges": {}, "spans": {}}|}
+  in
+  (match Json.of_string v1 with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match Metrics.of_json j with
+      | Error e -> Alcotest.fail e
+      | Ok m ->
+          check_int "v1 counters load verbatim" 64
+            (Metrics.counter m "masks_scanned")));
+  let v3 =
+    {|{"schema_version": 3, "counters": {}, "gauges": {}, "spans": {}}|}
+  in
+  match Json.of_string v3 with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      check_bool "future versions rejected" true
+        (Result.is_error (Metrics.of_json j))
+
 let test_run_cfg_semantics () =
   let cfg = Run_cfg.make () in
   check_bool "jobs normalized to >= 1" true (cfg.Run_cfg.jobs >= 1);
@@ -94,7 +119,7 @@ let test_json_sink () =
 
 let deterministic_counters =
   [
-    "masks_scanned"; "connected"; "classes"; "dedup_hits"; "cache_hits";
+    "candidates_generated"; "connected"; "classes"; "dedup_hits"; "cache_hits";
     "cache_misses"; "kept"; "checked"; "passed"; "violations";
     "labelings_checked";
   ]
@@ -122,6 +147,7 @@ let suite =
     case "span recorded on exception" test_span_survives_exception;
     case "counters and gauges" test_counters_and_gauges;
     case "metrics JSON round-trip" test_metrics_json_roundtrip;
+    case "schema v2 accepts v1, rejects v3" test_schema_versions;
     case "run-cfg semantics" test_run_cfg_semantics;
     case "json sink writes parseable metrics" test_json_sink;
     slow_case "counters identical jobs=1 vs jobs=4 (n=6 sweep)"
