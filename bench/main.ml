@@ -429,6 +429,57 @@ let series_engine_sweep ~fast () =
        identical))
     (if fast then [ 4; 5 ] else [ 4; 5; 6 ])
 
+(* The PR-5 tentpole series: certificate search with per-node
+   acceptance tables (the default) vs the direct view-extraction
+   oracle. Both runs are sequential over the same connected
+   non-bipartite classes and must agree on every (witness, tally)
+   pair; the row is a memoization comparison, not a parallelism one.
+   Returns the rows for BENCH_search.json. *)
+let series_search ~fast () =
+  Printf.printf
+    "\n== series: soundness certificate search, acceptance tables vs direct \
+     decoding (tentpole)\n";
+  Printf.printf "%-12s %4s %8s %12s %12s %10s %10s\n" "decoder" "n" "classes"
+    "memo(s)" "direct(s)" "speedup" "identical";
+  let memo_cfg = Run_cfg.sequential bench_cfg in
+  let direct_cfg = Run_cfg.with_eval_cache memo_cfg false in
+  let suites =
+    [
+      ("degree-one", D_degree_one.suite);
+      ("even-cycle", D_even_cycle.suite);
+      ("trivial2", D_trivial.suite ~k:2);
+      ("edge-bit", D_edge_bit.suite);
+    ]
+  in
+  let sizes = if fast then [ 4; 5 ] else [ 4; 5; 6 ] in
+  List.concat_map
+    (fun (name, suite) ->
+      List.map
+        (fun n ->
+          Lcp_engine.Sweep.clear_cache ();
+          let classes =
+            List.filter
+              (fun g -> not (Coloring.is_bipartite g))
+              (Lcp_engine.Sweep.iso_classes ~cfg:memo_cfg n)
+          in
+          let search cfg g =
+            let inst = Instance.make g in
+            let alphabet = suite.Decoder.adversary_alphabet inst in
+            Prover.search_accepted ~cfg suite.Decoder.dec ~alphabet inst
+          in
+          let run cfg = time (fun () -> List.map (search cfg) classes) in
+          let memo_res, memo_s = run memo_cfg in
+          let direct_res, direct_s = run direct_cfg in
+          let identical = memo_res = direct_res in
+          assert identical;
+          Printf.printf "%-12s %4d %8d %12.3f %12.3f %9.1fx %10b\n" name n
+            (List.length classes) memo_s direct_s
+            (direct_s /. Float.max memo_s 1e-9)
+            identical;
+          (name, n, List.length classes, memo_s, direct_s, identical))
+        sizes)
+    suites
+
 (* ------------------------------------------------------------------ *)
 (* BENCH_sweep.json: the sweep series plus the run's metrics            *)
 
@@ -491,6 +542,35 @@ let write_enumerate_json path rows =
       output_string oc "\n");
   Printf.printf "enumerate series written to %s\n" path
 
+let write_search_json path rows =
+  let ns s = int_of_float (s *. 1e9) in
+  let row (decoder, n, classes, memo_s, direct_s, identical) =
+    Json.Obj
+      [
+        ("decoder", Json.String decoder);
+        ("n", Json.Int n);
+        ("classes", Json.Int classes);
+        ("memoized_wall_ns", Json.Int (ns memo_s));
+        ("direct_wall_ns", Json.Int (ns direct_s));
+        ("identical", Json.Bool identical);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int bench_schema_version);
+        ("jobs", Json.Int 1);
+        ("search", Json.List (List.map row rows));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty doc);
+      output_string oc "\n");
+  Printf.printf "search series written to %s\n" path
+
 let series_sync () =
   Printf.printf
     "\n== series: flooding vs View.extract, random connected graphs (E13)\n";
@@ -527,10 +607,14 @@ let () =
   series_scaling ();
   series_engine_dedup ~fast ();
   let enumerate_rows = series_enumerate ~fast () in
+  let search_rows = series_search ~fast () in
   let sweep_rows = series_engine_sweep ~fast () in
   series_sync ();
   write_sweep_json metrics_out sweep_rows;
   write_enumerate_json
     (Filename.concat (Filename.dirname metrics_out) "BENCH_enumerate.json")
     enumerate_rows;
+  write_search_json
+    (Filename.concat (Filename.dirname metrics_out) "BENCH_search.json")
+    search_rows;
   Printf.printf "\nbench done.\n"

@@ -83,7 +83,7 @@ let soundness_exhaustive ?cfg (suite : Decoder.suite) instances =
       else
         let alphabet = suite.Decoder.adversary_alphabet inst in
         let witness, inspected =
-          Prover.search_accepted suite.Decoder.dec ~alphabet inst
+          Prover.search_accepted ?cfg suite.Decoder.dec ~alphabet inst
         in
         count_labelings cfg inspected;
         match witness with
@@ -107,22 +107,54 @@ let check_strong (suite : Decoder.suite) ~k inst lab =
           Printf.sprintf "accepting nodes induce a non-%d-colorable subgraph" k;
       }
 
+(* Exhaustive strong soundness: every |Σ|^n labeling's verdict vector,
+   from per-node acceptance tables when the cfg allows them (one table
+   lookup per node instead of a full view-extraction pass), feeding
+   the accepted-subgraph colorability check. The candidate instance is
+   only materialized for the failure report. *)
 let strong_soundness_exhaustive ?cfg (suite : Decoder.suite) ~k instances =
   fold_verdict ?cfg instances (fun inst ->
+      let g = inst.Instance.graph in
+      let dec = suite.Decoder.dec in
       let alphabet = suite.Decoder.adversary_alphabet inst in
+      let cache =
+        if match cfg with Some c -> c.Run_cfg.eval_cache | None -> true then
+          Some
+            (Lcp_engine.Eval_cache.create ~radius:dec.Decoder.radius
+               ~accepts:dec.Decoder.accepts ~alphabet inst)
+        else None
+      in
+      let verdicts =
+        match cache with
+        | Some ec -> fun lab -> Lcp_engine.Eval_cache.verdicts ec lab
+        | None -> fun lab -> Decoder.run dec (Instance.with_labels inst lab)
+      in
       let checked = ref 0 in
       let exception Failed of failure in
       let result =
         try
-          Labeling.iter_all ~alphabet inst.Instance.graph (fun lab ->
+          Labeling.iter_all ~alphabet g (fun lab ->
               incr checked;
-              match check_strong suite ~k inst (Array.copy lab) with
-              | None -> ()
-              | Some failure -> raise (Failed failure));
+              let accepting = ref [] in
+              Array.iteri
+                (fun v ok -> if ok then accepting := v :: !accepting)
+                (verdicts lab);
+              let sub, _ = Graph.induced g (List.rev !accepting) in
+              if not (Coloring.is_k_colorable sub ~k) then
+                raise
+                  (Failed
+                     {
+                       instance = Instance.with_labels inst (Array.copy lab);
+                       detail =
+                         Printf.sprintf
+                           "accepting nodes induce a non-%d-colorable subgraph"
+                           k;
+                     }));
           Ok !checked
         with Failed failure -> Error failure
       in
       count_labelings cfg !checked;
+      Prover.count_eval_stats cfg cache;
       result)
 
 let strong_soundness_random (suite : Decoder.suite) ~k ~trials rng instances =
@@ -184,7 +216,7 @@ let soundness_sweep ?cfg ?strategy ?(early_exit = false) (suite : Decoder.suite)
       let inst = Instance.make g in
       let alphabet = suite.Decoder.adversary_alphabet inst in
       let witness, inspected =
-        Prover.search_accepted suite.Decoder.dec ~alphabet inst
+        Prover.search_accepted ?cfg suite.Decoder.dec ~alphabet inst
       in
       count_labelings cfg inspected;
       match witness with

@@ -1,45 +1,147 @@
 open Lcp_graph
 open Lcp_local
 
-(* Nodes whose entire radius-r ball lies within the first [v + 1] nodes
-   become checkable as soon as node [v] is labeled. *)
-let coverage_schedule g ~r =
+(* ------------------------------------------------------------------ *)
+(* assignment order and coverage schedule                              *)
+
+(* Ball-completion order: repeatedly pick the center whose radius-r
+   ball has the fewest unassigned nodes left (ties to the smallest
+   center), then assign its missing nodes in ascending order. Coverage
+   pruning can only fire once some ball is fully labeled, so finishing
+   the cheapest ball first moves the first checkable node as high up
+   the backtracking tree as possible. Deterministic by construction. *)
+let ball_completion_order g ~r =
   let n = Graph.order g in
+  let balls = Array.init n (fun u -> Metrics.ball g u r) in
+  let assigned = Array.make n false in
+  let completed = Array.make n false in
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let remaining c =
+    List.fold_left (fun k w -> if assigned.(w) then k else k + 1) 0 balls.(c)
+  in
+  for _ = 1 to n do
+    let best = ref (-1) and best_rem = ref max_int in
+    for c = 0 to n - 1 do
+      if not completed.(c) then begin
+        let rem = remaining c in
+        if rem < !best_rem then begin
+          best := c;
+          best_rem := rem
+        end
+      end
+    done;
+    let c = !best in
+    List.iter
+      (fun w ->
+        if not assigned.(w) then begin
+          assigned.(w) <- true;
+          order.(!pos) <- w;
+          incr pos
+        end)
+      balls.(c);
+    completed.(c) <- true
+  done;
+  assert (!pos = n);
+  order
+
+(* Nodes whose entire radius-r ball lies within the first [i + 1]
+   assigned nodes become checkable at step [i] of the given order. *)
+let coverage_schedule g ~r ~order =
+  let n = Graph.order g in
+  let step_of = Array.make n 0 in
+  Array.iteri (fun i v -> step_of.(v) <- i) order;
   let newly_covered = Array.make n [] in
   for u = 0 to n - 1 do
     let ball = Metrics.ball g u r in
-    let last = List.fold_left max 0 ball in
+    let last = List.fold_left (fun acc w -> max acc step_of.(w)) 0 ball in
     newly_covered.(last) <- u :: newly_covered.(last)
   done;
-  newly_covered
+  Array.map List.rev newly_covered
 
-let iter_pruned ?tally dec ~alphabet (inst : Instance.t) ~reject_covered f =
+(* ------------------------------------------------------------------ *)
+(* the pruned iteration driver                                         *)
+
+let count_eval_stats cfg cache =
+  match cfg with
+  | None -> ()
+  | Some c ->
+      (* materialize both counters so memoized and direct runs
+         serialize the same key set *)
+      Run_cfg.count c ~by:0 "eval_cache_hits";
+      Run_cfg.count c ~by:0 "eval_cache_misses";
+      (match cache with
+      | None -> ()
+      | Some ec ->
+          let hits, misses = Lcp_engine.Eval_cache.stats ec in
+          Run_cfg.count c ~by:hits "eval_cache_hits";
+          Run_cfg.count c ~by:misses "eval_cache_misses")
+
+let use_eval_cache = function
+  | Some c -> c.Run_cfg.eval_cache
+  | None -> true
+
+let iter_pruned ?tally ?cfg dec ~alphabet (inst : Instance.t) ~reject_covered f =
   let g = inst.Instance.graph in
   let r = dec.Decoder.radius in
-  let schedule = coverage_schedule g ~r in
-  let prune v partial =
-    (match tally with Some t -> incr t | None -> ());
-    let candidate = Instance.with_labels inst (Array.copy partial) in
-    List.exists
-      (fun u ->
-        reject_covered u
-        && not (dec.Decoder.accepts (View.extract candidate ~r u)))
-      schedule.(v)
+  let order = ball_completion_order g ~r in
+  let schedule = coverage_schedule g ~r ~order in
+  let cache =
+    if use_eval_cache cfg then
+      Some
+        (Lcp_engine.Eval_cache.create ~radius:r ~accepts:dec.Decoder.accepts
+           ~alphabet inst)
+    else None
   in
-  Labeling.iter_backtracking ~alphabet g ~prune (fun lab -> f (Array.copy lab))
+  let branch_rejects =
+    match cache with
+    | Some ec ->
+        fun partial centers ->
+          List.exists
+            (fun u ->
+              reject_covered u
+              && not (Lcp_engine.Eval_cache.accepts ec partial u))
+            centers
+    | None ->
+        (* the direct oracle path: re-extract every covered view from a
+           candidate instance (the view snapshots the labels, so the
+           shared partial array needs no copy) *)
+        fun partial centers ->
+          let candidate = Instance.with_labels inst partial in
+          List.exists
+            (fun u ->
+              reject_covered u
+              && not (dec.Decoder.accepts (View.extract candidate ~r u)))
+            centers
+  in
+  let prune i partial =
+    (match tally with Some t -> incr t | None -> ());
+    match schedule.(i) with
+    | [] -> false (* no newly covered ball: no verdict can change *)
+    | centers -> branch_rejects partial centers
+  in
+  let run () =
+    Labeling.iter_backtracking_order ~alphabet ~order g ~prune (fun lab ->
+        f (Array.copy lab))
+  in
+  match cfg with
+  | None -> run ()
+  | Some _ ->
+      (* report hit/miss tallies even when the search exits early *)
+      Fun.protect ~finally:(fun () -> count_eval_stats cfg cache) run
 
-let iter_labelings_pruned dec ~alphabet inst ~reject_covered f =
-  iter_pruned dec ~alphabet inst ~reject_covered f
+let iter_labelings_pruned ?cfg dec ~alphabet inst ~reject_covered f =
+  iter_pruned ?cfg dec ~alphabet inst ~reject_covered f
 
-let iter_accepted dec ~alphabet inst f =
-  iter_labelings_pruned dec ~alphabet inst ~reject_covered:(fun _ -> true) f
+let iter_accepted ?cfg dec ~alphabet inst f =
+  iter_labelings_pruned ?cfg dec ~alphabet inst ~reject_covered:(fun _ -> true) f
 
-let search_accepted dec ~alphabet inst =
+let search_accepted ?cfg dec ~alphabet inst =
   let tally = ref 0 in
   let exception Found of Labeling.t in
   let witness =
     try
-      iter_pruned ~tally dec ~alphabet inst
+      iter_pruned ~tally ?cfg dec ~alphabet inst
         ~reject_covered:(fun _ -> true)
         (fun lab -> raise (Found lab));
       None
@@ -47,9 +149,10 @@ let search_accepted dec ~alphabet inst =
   in
   (witness, !tally)
 
-let find_accepted dec ~alphabet inst = fst (search_accepted dec ~alphabet inst)
+let find_accepted ?cfg dec ~alphabet inst =
+  fst (search_accepted ?cfg dec ~alphabet inst)
 
-let count_accepted dec ~alphabet inst =
+let count_accepted ?cfg dec ~alphabet inst =
   let k = ref 0 in
-  iter_accepted dec ~alphabet inst (fun _ -> incr k);
+  iter_accepted ?cfg dec ~alphabet inst (fun _ -> incr k);
   !k

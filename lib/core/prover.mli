@@ -6,33 +6,70 @@
     searches} the certificate space, which is what we need to check
     statements of the form "no certificate assignment is accepted"
     (soundness) or "every accepted assignment has property P" (strong
-    soundness). *)
+    soundness).
+
+    The search backtracks over the alphabet in {e ball-completion
+    order}: nodes are assigned so that some node's radius-r ball is
+    fully labeled as early as possible, and a branch is cut as soon as
+    a covered node rejects. Covered verdicts come from per-node
+    acceptance tables ({!Lcp_engine.Eval_cache}) — each (node,
+    ball-labeling) pair is decoded once and looked up thereafter. Every
+    entry point takes an optional {!Run_cfg.t}: [cfg.eval_cache =
+    false] forces the direct re-extraction path (the oracle the tables
+    are validated against — verdicts, witnesses and tallies are
+    identical), and when a cfg is present the search reports
+    [eval_cache_hits] / [eval_cache_misses] into its metrics. Searches
+    are sequential per instance, so both counters and tallies are
+    deterministic and independent of [cfg.jobs]. *)
 
 open Lcp_local
 
 val find_accepted :
-  Decoder.t -> alphabet:string list -> Instance.t -> Labeling.t option
+  ?cfg:Run_cfg.t ->
+  Decoder.t ->
+  alphabet:string list ->
+  Instance.t ->
+  Labeling.t option
 (** Some labeling over the alphabet that every node accepts, if one
     exists. Backtracking with ball-coverage pruning: a partial labeling
     is cut as soon as some node whose entire radius-r ball is already
     labeled rejects. *)
 
 val search_accepted :
-  Decoder.t -> alphabet:string list -> Instance.t -> Labeling.t option * int
+  ?cfg:Run_cfg.t ->
+  Decoder.t ->
+  alphabet:string list ->
+  Instance.t ->
+  Labeling.t option * int
 (** {!find_accepted} plus a work tally: the number of partial labelings
     the backtracking search examined (prune invocations) before
     accepting or exhausting the space. The search is sequential per
     instance, so the tally is deterministic — it feeds the engine's
-    [labelings_checked] counter. *)
+    [labelings_checked] counter — and identical with the acceptance
+    tables on or off. *)
 
 val iter_accepted :
-  Decoder.t -> alphabet:string list -> Instance.t -> (Labeling.t -> unit) -> unit
+  ?cfg:Run_cfg.t ->
+  Decoder.t ->
+  alphabet:string list ->
+  Instance.t ->
+  (Labeling.t -> unit) ->
+  unit
 (** All unanimously accepted labelings (the callback receives a fresh
-    copy each time). *)
+    copy each time), in ball-completion search order. *)
 
-val count_accepted : Decoder.t -> alphabet:string list -> Instance.t -> int
+val count_accepted :
+  ?cfg:Run_cfg.t -> Decoder.t -> alphabet:string list -> Instance.t -> int
+
+val count_eval_stats : Run_cfg.t option -> Lcp_engine.Eval_cache.t option -> unit
+(** Report a cache's [(hits, misses)] into the cfg's metrics as
+    [eval_cache_hits] / [eval_cache_misses], materializing both
+    counters (at 0) whenever a cfg is present so memoized and direct
+    runs serialize the same key set. Shared with {!Checker}'s
+    exhaustive paths; no-op without a cfg. *)
 
 val iter_labelings_pruned :
+  ?cfg:Run_cfg.t ->
   Decoder.t ->
   alphabet:string list ->
   Instance.t ->

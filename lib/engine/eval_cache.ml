@@ -1,0 +1,170 @@
+open Lcp_graph
+open Lcp_local
+
+(* Per-node acceptance tables.
+
+   A radius-r verdict depends on the instance only through the labeling
+   restricted to the node's ball: structure, ports and identifiers are
+   fixed per instance, so for a fixed (instance, decoder) pair the map
+
+     ball labeling |-> accepts (view of v)
+
+   is a finite function with |alphabet|^|ball v| entries. The table for
+   node v memoizes it, keyed by the ball labels packed as a base-|Σ|
+   integer. Misses are evaluated by swapping the candidate labels into a
+   view skeleton extracted once per node — no per-query BFS, sorting or
+   graph construction. *)
+
+type store =
+  | Dense of Bytes.t
+      (* 0 = unknown, 1 = reject, 2 = accept; used when the key space
+         fits [dense_limit] bytes *)
+  | Hashed of (int, bool) Hashtbl.t
+      (* packed int key; key space too large to materialize *)
+  | Keyed of (string, bool) Hashtbl.t
+      (* textual key; base-|Σ| packing would overflow an int *)
+
+type node_tab = {
+  globals : int array;
+      (* globals.(u) = instance node behind local view node u *)
+  skeleton : View.t; (* extracted once; labels swapped per miss *)
+  store : store;
+}
+
+type t = {
+  accepts : View.t -> bool;
+  sym : (string, int) Hashtbl.t;
+  sigma : int;
+  nodes : node_tab array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_dense_limit = 1 lsl 16
+
+(* |Σ|^m if it fits an int, None on overflow. *)
+let pow_opt base e =
+  if base = 0 then Some (if e = 0 then 1 else 0)
+  else begin
+    let acc = ref 1 in
+    let ok = ref true in
+    for _ = 1 to e do
+      if !acc > max_int / base then ok := false else acc := !acc * base
+    done;
+    if !ok then Some !acc else None
+  end
+
+let create ?(dense_limit = default_dense_limit) ~radius ~accepts ~alphabet
+    (inst : Instance.t) =
+  if radius < 1 then invalid_arg "Eval_cache.create: radius must be >= 1";
+  let sym = Hashtbl.create 16 in
+  List.iteri
+    (fun i s -> if not (Hashtbl.mem sym s) then Hashtbl.add sym s i)
+    alphabet;
+  let sigma = Hashtbl.length sym in
+  let n = Graph.order inst.Instance.graph in
+  let nodes =
+    Array.init n (fun v ->
+        let skeleton = View.extract inst ~r:radius v in
+        let m = Graph.order skeleton.View.graph in
+        (* the view's canonical (dist, id) order is label-independent,
+           so the local -> global map is fixed for the instance *)
+        let globals =
+          Array.init m (fun u ->
+              match Ident.node_of_id inst.Instance.ids skeleton.View.ids.(u) with
+              | Some w -> w
+              | None -> assert false (* view ids come from the instance *))
+        in
+        let store =
+          match pow_opt sigma m with
+          | Some space when space <= dense_limit -> Dense (Bytes.make space '\000')
+          | Some _ -> Hashed (Hashtbl.create 1024)
+          | None -> Keyed (Hashtbl.create 1024)
+        in
+        { globals; skeleton; store })
+  in
+  { accepts; sym; sigma; nodes; hits = 0; misses = 0 }
+
+(* Evaluate by swapping the candidate ball labels into the skeleton:
+   structure, ports and ids are reused, only the label array is fresh. *)
+let eval_swapped t tab (lab : Labeling.t) =
+  t.accepts (View.mapi_labels tab.skeleton (fun u _ -> lab.(tab.globals.(u))))
+
+(* Pack the ball labels as a base-|Σ| int. Returns None when a label is
+   outside the alphabet (possible when a caller probes a labeling the
+   adversary alphabet does not cover) — those queries bypass the table. *)
+let pack_int t tab (lab : Labeling.t) =
+  let m = Array.length tab.globals in
+  let key = ref 0 in
+  let ok = ref true in
+  for u = 0 to m - 1 do
+    match Hashtbl.find_opt t.sym lab.(tab.globals.(u)) with
+    | Some i -> key := (!key * t.sigma) + i
+    | None -> ok := false
+  done;
+  if !ok then Some !key else None
+
+let pack_string t tab (lab : Labeling.t) =
+  let m = Array.length tab.globals in
+  let buf = Buffer.create (4 * m) in
+  let ok = ref true in
+  for u = 0 to m - 1 do
+    match Hashtbl.find_opt t.sym lab.(tab.globals.(u)) with
+    | Some i ->
+        Buffer.add_string buf (string_of_int i);
+        Buffer.add_char buf ','
+    | None -> ok := false
+  done;
+  if !ok then Some (Buffer.contents buf) else None
+
+let accepts t lab v =
+  let tab = t.nodes.(v) in
+  match tab.store with
+  | Dense bytes -> (
+      match pack_int t tab lab with
+      | None -> eval_swapped t tab lab
+      | Some key -> (
+          match Bytes.unsafe_get bytes key with
+          | '\001' ->
+              t.hits <- t.hits + 1;
+              false
+          | '\002' ->
+              t.hits <- t.hits + 1;
+              true
+          | _ ->
+              t.misses <- t.misses + 1;
+              let verdict = eval_swapped t tab lab in
+              Bytes.unsafe_set bytes key (if verdict then '\002' else '\001');
+              verdict))
+  | Hashed tbl -> (
+      match pack_int t tab lab with
+      | None -> eval_swapped t tab lab
+      | Some key -> (
+          match Hashtbl.find_opt tbl key with
+          | Some verdict ->
+              t.hits <- t.hits + 1;
+              verdict
+          | None ->
+              t.misses <- t.misses + 1;
+              let verdict = eval_swapped t tab lab in
+              Hashtbl.replace tbl key verdict;
+              verdict))
+  | Keyed tbl -> (
+      match pack_string t tab lab with
+      | None -> eval_swapped t tab lab
+      | Some key -> (
+          match Hashtbl.find_opt tbl key with
+          | Some verdict ->
+              t.hits <- t.hits + 1;
+              verdict
+          | None ->
+              t.misses <- t.misses + 1;
+              let verdict = eval_swapped t tab lab in
+              Hashtbl.replace tbl key verdict;
+              verdict))
+
+let verdicts t lab = Array.init (Array.length t.nodes) (accepts t lab)
+
+let ball t v = Array.copy t.nodes.(v).globals
+
+let stats t = (t.hits, t.misses)

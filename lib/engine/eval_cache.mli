@@ -1,0 +1,69 @@
+(** Per-node acceptance tables: memoized radius-r verdicts.
+
+    The locality fact the whole LCP framework rests on — a radius-[r]
+    decoder's verdict at [v] depends only on the labeling restricted to
+    the ball [N^r(v)] — makes exhaustive certificate searches wildly
+    redundant when evaluated naively: the same (node, ball-labeling)
+    pair is re-extracted and re-decoded at every backtracking step and
+    for every full labeling that agrees on the ball. An [Eval_cache.t]
+    evaluates each pair once.
+
+    Per node of the instance, [create]:
+    - extracts the radius-[r] view {e skeleton} once (the BFS, the
+      canonical (dist, id) node order, the ball graph and ports);
+    - records the local-to-global node map (label-independent, because
+      the canonical order ignores labels);
+    - sizes a verdict table over the ball's labeling space: a dense
+      byte table when [|alphabet|^|ball|] fits [dense_limit], a
+      hashtable on a packed int key when it does not, and a hashtable
+      on a textual key in the (pathological) regime where base-|Σ|
+      packing overflows an int.
+
+    A query packs the ball's labels as a base-|Σ| integer and looks the
+    verdict up; a miss swaps the labels into the skeleton
+    ({!Lcp_local.View.mapi_labels} — no re-extraction) and runs the
+    decoder once. Labels outside the alphabet bypass the table (the
+    query is answered correctly but never cached).
+
+    Determinism: verdicts are by construction identical to the direct
+    [accepts (View.extract inst ~r v)] path, and for a fixed query
+    sequence the hit/miss split is deterministic — caches are
+    per-instance and confined to whichever domain runs that instance,
+    so engine counters built from {!stats} are independent of [jobs].
+
+    Not thread-safe: one cache belongs to one domain. *)
+
+open Lcp_local
+
+type t
+
+val create :
+  ?dense_limit:int ->
+  radius:int ->
+  accepts:(View.t -> bool) ->
+  alphabet:string list ->
+  Instance.t ->
+  t
+(** Build the per-node skeletons and (empty) verdict tables for an
+    instance. [dense_limit] (default [65536]) caps the per-node byte
+    table; larger key spaces fall back to hashtables. Duplicate
+    alphabet symbols are collapsed.
+    @raise Invalid_argument if [radius < 1]. *)
+
+val accepts : t -> Labeling.t -> int -> bool
+(** [accepts t lab v]: the decoder's verdict at node [v] under the
+    (possibly partial) labeling [lab] — every node of [v]'s ball must
+    carry a real label; slots outside the ball may hold anything
+    (e.g. the search's ["?"] placeholder). Memoized. *)
+
+val verdicts : t -> Labeling.t -> bool array
+(** All nodes' verdicts under a complete labeling — the memoized
+    equivalent of [Decoder.run], one table lookup per node. *)
+
+val ball : t -> int -> int array
+(** The instance nodes of [v]'s ball in view-local (dist, id) order —
+    the key dimensions of [v]'s table. Fresh copy. *)
+
+val stats : t -> int * int
+(** [(hits, misses)] accumulated so far. [misses] is the number of
+    distinct (node, ball-labeling) pairs actually decoded. *)

@@ -9,21 +9,36 @@ let max_bits t = Array.fold_left (fun acc s -> max acc (8 * String.length s)) 0 
 
 let unassigned = "?"
 
-let iter_backtracking ~alphabet g ~prune f =
+let iter_backtracking_order ~alphabet ~order g ~prune f =
   let n = Graph.order g in
+  if Array.length order <> n then
+    invalid_arg "Labeling.iter_backtracking_order: order has wrong length";
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then
+        invalid_arg "Labeling.iter_backtracking_order: order is not a permutation";
+      seen.(v) <- true)
+    order;
   let lab = Array.make n unassigned in
-  let rec go v =
-    if v = n then f lab
+  let rec go i =
+    if i = n then f lab
     else
+      let v = order.(i) in
       List.iter
         (fun sym ->
           lab.(v) <- sym;
-          if not (prune v lab) then go (v + 1);
+          if not (prune i lab) then go (i + 1);
           lab.(v) <- unassigned)
         alphabet
   in
   if alphabet = [] && n > 0 then ()
   else go 0
+
+let iter_backtracking ~alphabet g ~prune f =
+  (* identity order: step index = node index, so [prune] sees the node *)
+  let order = Array.init (Graph.order g) (fun i -> i) in
+  iter_backtracking_order ~alphabet ~order g ~prune f
 
 let iter_all ~alphabet g f =
   iter_backtracking ~alphabet g ~prune:(fun _ _ -> false) f
@@ -42,6 +57,23 @@ let random rng ~alphabet g =
   Array.init (Graph.order g) (fun _ -> arr.(Random.State.int rng m))
 
 let count ~alphabet g =
+  (* |alphabet|^n, saturating at [max_int]: the naive power silently
+     wraps for large spaces (|Σ|^n overflows 63-bit ints as soon as
+     e.g. |Σ| = 5, n = 28), and callers use the count as a work bound,
+     where saturation is the honest answer. *)
   let m = List.length alphabet in
-  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
-  pow m (Graph.order g)
+  let n = Graph.order g in
+  if m = 0 then if n = 0 then 1 else 0
+  else begin
+    let acc = ref 1 in
+    (try
+       for _ = 1 to n do
+         if !acc > max_int / m then begin
+           acc := max_int;
+           raise Exit
+         end;
+         acc := !acc * m
+       done
+     with Exit -> ());
+    !acc
+  end

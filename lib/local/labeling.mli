@@ -33,6 +33,26 @@ val iter_backtracking :
     returning [true] cuts the subtree. Complete labelings go to the
     callback. *)
 
+val iter_backtracking_order :
+  alphabet:string list ->
+  order:int array ->
+  Graph.t ->
+  prune:(int -> t -> bool) ->
+  (t -> unit) ->
+  unit
+(** {!iter_backtracking} with an explicit assignment order: step [i]
+    assigns node [order.(i)], and [prune] receives the {e step index}
+    [i] (nodes [order.(0..i)] are assigned, every other slot holds
+    ["?"]). The emitted labeling arrays are still indexed by node, so
+    callers see canonical node order regardless of [order]. Used by the
+    certificate search to assign ball-completing nodes first, which
+    lets coverage pruning fire higher in the tree.
+    @raise Invalid_argument if [order] is not a permutation of
+    [0 .. order g - 1]. *)
+
 val random : Random.State.t -> alphabet:string list -> Graph.t -> t
 
 val count : alphabet:string list -> Graph.t -> int
+(** [|alphabet|^(order g)], saturating at [max_int] instead of silently
+    wrapping: a result of [max_int] means "more labelings than an int
+    can count". *)

@@ -2,6 +2,7 @@ type t = {
   jobs : int;
   heavy : bool;
   seed : int;
+  eval_cache : bool;
   sink : Sink.t;
   deadline : float option;
   metrics : Metrics.t;
@@ -16,12 +17,13 @@ let normalize_jobs = function
   | Some j when j > 0 -> j
   | _ -> Domain.recommended_domain_count ()
 
-let make ?jobs ?(heavy = true) ?(seed = default_seed) ?(sink = Sink.null)
-    ?deadline () =
+let make ?jobs ?(heavy = true) ?(seed = default_seed) ?(eval_cache = true)
+    ?(sink = Sink.null) ?deadline () =
   {
     jobs = normalize_jobs jobs;
     heavy;
     seed;
+    eval_cache;
     sink;
     deadline;
     metrics = Metrics.create ();
@@ -31,6 +33,7 @@ let make ?jobs ?(heavy = true) ?(seed = default_seed) ?(sink = Sink.null)
 let default = make ()
 let with_jobs t jobs = { t with jobs = normalize_jobs (Some jobs) }
 let sequential t = { t with jobs = 1 }
+let with_eval_cache t eval_cache = { t with eval_cache }
 let rng t = Random.State.make [| t.seed |]
 
 let span t name f =

@@ -34,6 +34,42 @@ let test_backtracking_prune () =
     (fun _ -> incr count);
   check_int "half the space" 4 !count
 
+let test_backtracking_order () =
+  let g = Builders.path 3 in
+  let alphabet = [ "0"; "1" ] in
+  (* a reordered backtracking visit covers exactly the full space *)
+  let seen = ref [] in
+  Labeling.iter_backtracking_order ~alphabet ~order:[| 2; 0; 1 |] g
+    ~prune:(fun _ _ -> false)
+    (fun lab -> seen := Array.copy lab :: !seen);
+  let all = ref [] in
+  Labeling.iter_all ~alphabet g (fun lab -> all := Array.copy lab :: !all);
+  check_bool "same labeling set" true
+    (List.sort_uniq Stdlib.compare !seen = List.sort_uniq Stdlib.compare !all);
+  (* prune receives the step index, not the node: step 0 assigns node 2 *)
+  let count = ref 0 in
+  Labeling.iter_backtracking_order ~alphabet ~order:[| 2; 0; 1 |] g
+    ~prune:(fun i lab -> i = 0 && lab.(2) = "1")
+    (fun _ -> incr count);
+  check_int "pruning on node 2 at step 0 halves the space" 4 !count;
+  (* a non-permutation order is rejected *)
+  check_bool "duplicate order rejected" true
+    (try
+       Labeling.iter_backtracking_order ~alphabet ~order:[| 0; 0; 1 |] g
+         ~prune:(fun _ _ -> false)
+         (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_count_saturates () =
+  (* 10^40 labelings overflow a 63-bit int: count clamps to max_int
+     instead of wrapping, so budget guards stay monotone *)
+  let g = Builders.path 40 in
+  let alphabet = List.init 10 string_of_int in
+  check_int "saturates at max_int" max_int (Labeling.count ~alphabet g);
+  check_int "small spaces still exact" 8
+    (Labeling.count ~alphabet:[ "0"; "1" ] (Builders.path 3))
+
 let test_exists_all () =
   let g = Builders.path 2 in
   check_bool "found" true
@@ -61,6 +97,8 @@ let suite =
     case "iter_all count" test_iter_all;
     case "iter_all yields distinct labelings" test_iter_all_copies;
     case "backtracking prune" test_backtracking_prune;
+    case "backtracking with explicit order" test_backtracking_order;
+    case "count saturates instead of overflowing" test_count_saturates;
     case "exists_all" test_exists_all;
     case "empty alphabet" test_empty_alphabet;
     case "random" test_random;

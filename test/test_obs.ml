@@ -121,7 +121,7 @@ let deterministic_counters =
   [
     "candidates_generated"; "connected"; "classes"; "dedup_hits"; "cache_hits";
     "cache_misses"; "kept"; "checked"; "passed"; "violations";
-    "labelings_checked";
+    "labelings_checked"; "eval_cache_hits"; "eval_cache_misses";
   ]
 
 let sweep_counters jobs =
