@@ -571,6 +571,112 @@ let write_search_json path rows =
       output_string oc "\n");
   Printf.printf "search series written to %s\n" path
 
+(* The PR-6 tentpole series: request latency against a live lcp serve
+   daemon on a temp socket, cold (first request, caches empty) vs warm
+   (repeats against the daemon's persistent iso-class and acceptance-
+   table caches). The protocol overhead itself is the ping row.
+   Returns rows for BENCH_serve.json. *)
+let series_serve ~fast () =
+  Printf.printf "\n== series: lcp serve request latency, cold vs warm (tentpole)\n";
+  Printf.printf "%-22s %6s %10s %10s %10s %10s\n" "request" "count" "cold(ms)"
+    "p50(ms)" "p95(ms)" "req/s";
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lcp-bench-%d.sock" (Unix.getpid ()))
+  in
+  Lcp_engine.Sweep.clear_cache ();
+  let server =
+    Lcp_serve.Server.start
+      (Lcp_serve.Server.default_config ~socket_path)
+  in
+  let percentile sorted p =
+    let len = Array.length sorted in
+    sorted.(min (len - 1) (int_of_float (p *. float_of_int (len - 1) +. 0.5)))
+  in
+  let rows =
+    Fun.protect
+      ~finally:(fun () ->
+        Lcp_serve.Server.stop server;
+        Lcp_serve.Server.wait server)
+      (fun () ->
+        Lcp_serve.Client.with_connection socket_path (fun c ->
+            let one req =
+              let t0 = Unix.gettimeofday () in
+              (match Lcp_serve.Client.request c req with
+              | Ok { Lcp_serve.Protocol.status = Lcp_serve.Protocol.Done; _ } ->
+                  ()
+              | Ok r ->
+                  failwith
+                    ("bench request failed: "
+                    ^ Lcp_serve.Protocol.status_name r.Lcp_serve.Protocol.status)
+              | Error e -> failwith e);
+              Unix.gettimeofday () -. t0
+            in
+            let job kind =
+              { Lcp_serve.Protocol.kind; opts = Lcp_serve.Protocol.default_opts }
+            in
+            let series (name, req, count) =
+              let cold = one req in
+              let warm = Array.init count (fun _ -> one req) in
+              let total = cold +. Array.fold_left ( +. ) 0. warm in
+              Array.sort compare warm;
+              let p50 = percentile warm 0.50 and p95 = percentile warm 0.95 in
+              let rps = float_of_int (count + 1) /. total in
+              Printf.printf "%-22s %6d %10.3f %10.3f %10.3f %10.0f\n" name
+                (count + 1) (cold *. 1e3) (p50 *. 1e3) (p95 *. 1e3) rps;
+              (name, count + 1, cold, p50, p95, rps)
+            in
+            List.map series
+              [
+                ("ping", job Lcp_serve.Protocol.Ping, if fast then 50 else 500);
+                ( "check-degree-one-C5",
+                  job
+                    (Lcp_serve.Protocol.Check
+                       { decoder = "degree-one"; graph = "cycle:5" }),
+                  if fast then 10 else 50 );
+                ( "sweep-degree-one-n5",
+                  job
+                    (Lcp_serve.Protocol.Sweep
+                       {
+                         decoder = "degree-one";
+                         n = 5;
+                         strategy = "orderly";
+                         early_exit = false;
+                       }),
+                  if fast then 5 else 25 );
+              ]))
+  in
+  Lcp_engine.Sweep.clear_cache ();
+  rows
+
+let write_serve_json path rows =
+  let ns s = int_of_float (s *. 1e9) in
+  let row (name, requests, cold_s, p50_s, p95_s, rps) =
+    Json.Obj
+      [
+        ("request", Json.String name);
+        ("requests", Json.Int requests);
+        ("cold_wall_ns", Json.Int (ns cold_s));
+        ("warm_p50_ns", Json.Int (ns p50_s));
+        ("warm_p95_ns", Json.Int (ns p95_s));
+        ("requests_per_sec", Json.Int (int_of_float rps));
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int bench_schema_version);
+        ("serve", Json.List (List.map row rows));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty doc);
+      output_string oc "\n");
+  Printf.printf "serve series written to %s\n" path
+
 let series_sync () =
   Printf.printf
     "\n== series: flooding vs View.extract, random connected graphs (E13)\n";
@@ -609,8 +715,12 @@ let () =
   let enumerate_rows = series_enumerate ~fast () in
   let search_rows = series_search ~fast () in
   let sweep_rows = series_engine_sweep ~fast () in
+  let serve_rows = series_serve ~fast () in
   series_sync ();
   write_sweep_json metrics_out sweep_rows;
+  write_serve_json
+    (Filename.concat (Filename.dirname metrics_out) "BENCH_serve.json")
+    serve_rows;
   write_enumerate_json
     (Filename.concat (Filename.dirname metrics_out) "BENCH_enumerate.json")
     enumerate_rows;

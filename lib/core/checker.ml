@@ -117,15 +117,13 @@ let strong_soundness_exhaustive ?cfg (suite : Decoder.suite) ~k instances =
       let g = inst.Instance.graph in
       let dec = suite.Decoder.dec in
       let alphabet = suite.Decoder.adversary_alphabet inst in
-      let cache =
+      let lease =
         if match cfg with Some c -> c.Run_cfg.eval_cache | None -> true then
-          Some
-            (Lcp_engine.Eval_cache.create ~radius:dec.Decoder.radius
-               ~accepts:dec.Decoder.accepts ~alphabet inst)
+          Some (Prover.acquire_cache dec ~alphabet inst)
         else None
       in
       let verdicts =
-        match cache with
+        match Option.map Lcp_engine.Eval_cache.lease_cache lease with
         | Some ec -> fun lab -> Lcp_engine.Eval_cache.verdicts ec lab
         | None -> fun lab -> Decoder.run dec (Instance.with_labels inst lab)
       in
@@ -154,7 +152,8 @@ let strong_soundness_exhaustive ?cfg (suite : Decoder.suite) ~k instances =
         with Failed failure -> Error failure
       in
       count_labelings cfg !checked;
-      Prover.count_eval_stats cfg cache;
+      Prover.count_eval_stats cfg lease;
+      Option.iter Lcp_engine.Eval_cache.release lease;
       result)
 
 let strong_soundness_random (suite : Decoder.suite) ~k ~trials rng instances =

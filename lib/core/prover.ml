@@ -62,39 +62,91 @@ let coverage_schedule g ~r ~order =
 (* ------------------------------------------------------------------ *)
 (* the pruned iteration driver                                         *)
 
-let count_eval_stats cfg cache =
+let count_eval_stats cfg lease =
   match cfg with
   | None -> ()
   | Some c ->
-      (* materialize both counters so memoized and direct runs
+      (* materialize the counters so memoized, direct and warm runs
          serialize the same key set *)
       Run_cfg.count c ~by:0 "eval_cache_hits";
       Run_cfg.count c ~by:0 "eval_cache_misses";
-      (match cache with
+      Run_cfg.count c ~by:0 "eval_cache_shared_hits";
+      (match lease with
       | None -> ()
-      | Some ec ->
-          let hits, misses = Lcp_engine.Eval_cache.stats ec in
+      | Some l ->
+          (* the delta since acquire: independent of how warm a shared
+             cache already was when this search leased it *)
+          let hits, misses = Lcp_engine.Eval_cache.lease_stats l in
           Run_cfg.count c ~by:hits "eval_cache_hits";
-          Run_cfg.count c ~by:misses "eval_cache_misses")
+          Run_cfg.count c ~by:misses "eval_cache_misses";
+          if Lcp_engine.Eval_cache.lease_warm l then
+            Run_cfg.count c "eval_cache_shared_hits")
 
 let use_eval_cache = function
   | Some c -> c.Run_cfg.eval_cache
   | None -> true
+
+(* Everything a memoized verdict depends on besides the labels: the
+   decoder (name + radius stand in for its identity — names are unique
+   across the registry), the alphabet, and the full configured graph
+   (structure, identifiers, ports). Labels are the table's own key
+   dimension and are deliberately excluded. *)
+let share_key dec ~alphabet (inst : Instance.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b dec.Decoder.name;
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int dec.Decoder.radius);
+  Buffer.add_char b '|';
+  List.iter
+    (fun s ->
+      Buffer.add_string b (string_of_int (String.length s));
+      Buffer.add_char b ':';
+      Buffer.add_string b s)
+    alphabet;
+  Buffer.add_char b '|';
+  let g = inst.Instance.graph in
+  Buffer.add_string b (string_of_int (Lcp_graph.Graph.order g));
+  Lcp_graph.Graph.iter_edges
+    (fun u v ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int u);
+      Buffer.add_char b '-';
+      Buffer.add_string b (string_of_int v))
+    g;
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int inst.Instance.ids.Ident.bound);
+  Array.iter
+    (fun id ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int id))
+    inst.Instance.ids.Ident.ids;
+  Buffer.add_char b '|';
+  Array.iter
+    (fun row ->
+      Buffer.add_char b ';';
+      Array.iter
+        (fun w ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b (string_of_int w))
+        row)
+    inst.Instance.ports;
+  Buffer.contents b
+
+let acquire_cache dec ~alphabet inst =
+  Lcp_engine.Eval_cache.acquire
+    ~key:(share_key dec ~alphabet inst)
+    ~radius:dec.Decoder.radius ~accepts:dec.Decoder.accepts ~alphabet inst
 
 let iter_pruned ?tally ?cfg dec ~alphabet (inst : Instance.t) ~reject_covered f =
   let g = inst.Instance.graph in
   let r = dec.Decoder.radius in
   let order = ball_completion_order g ~r in
   let schedule = coverage_schedule g ~r ~order in
-  let cache =
-    if use_eval_cache cfg then
-      Some
-        (Lcp_engine.Eval_cache.create ~radius:r ~accepts:dec.Decoder.accepts
-           ~alphabet inst)
-    else None
+  let lease =
+    if use_eval_cache cfg then Some (acquire_cache dec ~alphabet inst) else None
   in
   let branch_rejects =
-    match cache with
+    match Option.map Lcp_engine.Eval_cache.lease_cache lease with
     | Some ec ->
         fun partial centers ->
           List.exists
@@ -124,11 +176,15 @@ let iter_pruned ?tally ?cfg dec ~alphabet (inst : Instance.t) ~reject_covered f 
     Labeling.iter_backtracking_order ~alphabet ~order g ~prune (fun lab ->
         f (Array.copy lab))
   in
-  match cfg with
-  | None -> run ()
-  | Some _ ->
-      (* report hit/miss tallies even when the search exits early *)
-      Fun.protect ~finally:(fun () -> count_eval_stats cfg cache) run
+  let finish () =
+    (* report hit/miss tallies even when the search exits early, then
+       hand a pooled cache back *)
+    count_eval_stats cfg lease;
+    Option.iter Lcp_engine.Eval_cache.release lease
+  in
+  match (cfg, lease) with
+  | None, None -> run ()
+  | _ -> Fun.protect ~finally:finish run
 
 let iter_labelings_pruned ?cfg dec ~alphabet inst ~reject_covered f =
   iter_pruned ?cfg dec ~alphabet inst ~reject_covered f

@@ -61,12 +61,27 @@ val iter_accepted :
 val count_accepted :
   ?cfg:Run_cfg.t -> Decoder.t -> alphabet:string list -> Instance.t -> int
 
-val count_eval_stats : Run_cfg.t option -> Lcp_engine.Eval_cache.t option -> unit
-(** Report a cache's [(hits, misses)] into the cfg's metrics as
-    [eval_cache_hits] / [eval_cache_misses], materializing both
-    counters (at 0) whenever a cfg is present so memoized and direct
-    runs serialize the same key set. Shared with {!Checker}'s
-    exhaustive paths; no-op without a cfg. *)
+val acquire_cache :
+  Decoder.t ->
+  alphabet:string list ->
+  Instance.t ->
+  Lcp_engine.Eval_cache.lease
+(** Lease an acceptance-table cache for this (decoder, alphabet,
+    instance) triple through {!Lcp_engine.Eval_cache.acquire}, keyed
+    by everything a verdict depends on besides the labels (decoder
+    name and radius, alphabet, graph, identifiers, ports). When the
+    process has enabled cache sharing (the serve daemon does), a
+    repeated search over the same triple reuses the already-populated
+    tables. Callers must {!Lcp_engine.Eval_cache.release} the lease. *)
+
+val count_eval_stats :
+  Run_cfg.t option -> Lcp_engine.Eval_cache.lease option -> unit
+(** Report a lease's [(hits, misses)] delta into the cfg's metrics as
+    [eval_cache_hits] / [eval_cache_misses] (plus
+    [eval_cache_shared_hits] when the lease was warm), materializing
+    all three counters (at 0) whenever a cfg is present so memoized,
+    direct and warm runs serialize the same key set. Shared with
+    {!Checker}'s exhaustive paths; no-op without a cfg. *)
 
 val iter_labelings_pruned :
   ?cfg:Run_cfg.t ->

@@ -168,3 +168,110 @@ let verdicts t lab = Array.init (Array.length t.nodes) (accepts t lab)
 let ball t v = Array.copy t.nodes.(v).globals
 
 let stats t = (t.hits, t.misses)
+
+(* ------------------------------------------------------------------ *)
+(* cross-run sharing
+
+   A long-running process (the serve daemon) answers many requests
+   over the same small instance space; rebuilding the per-node
+   skeletons and re-decoding the same ball labelings on every request
+   wastes most of the work the tables exist to save. The shared pool
+   keeps built caches keyed by an opaque caller-supplied string (the
+   caller must fold in everything a verdict depends on: decoder
+   identity, radius, alphabet, graph, ids, ports — labels excluded,
+   they are the table's key dimension).
+
+   Caches are single-domain objects, so the pool hands them out under
+   an exclusive lease: [acquire] checks the key out, [release] checks
+   it back in, and a second acquirer of a busy key gets a private
+   unpooled cache instead of a data race. The pool mutex orders the
+   hand-off between domains (happens-before through lock release /
+   acquire), so a cache built by one domain is safe to reuse from
+   another once leased.
+
+   Sharing is off by default — one-shot CLI runs behave exactly as
+   before; the daemon opts in at startup. *)
+
+type slot = { mutable in_use : bool; cached : t }
+
+type lease = {
+  cache : t;
+  warm : bool;  (* did the pool satisfy this acquire? *)
+  base_hits : int;
+  base_misses : int;
+  slot : slot option;  (* None: private cache, nothing to release *)
+}
+
+let pool : (string, slot) Hashtbl.t = Hashtbl.create 64
+let pool_lock = Mutex.create ()
+let sharing = ref false
+
+let locked f =
+  Mutex.lock pool_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock pool_lock) f
+
+let sharing_enabled () = locked (fun () -> !sharing)
+
+let set_sharing on =
+  locked (fun () ->
+      sharing := on;
+      if not on then Hashtbl.reset pool)
+
+let shared_size () = locked (fun () -> Hashtbl.length pool)
+let clear_shared () = locked (fun () -> Hashtbl.reset pool)
+
+let private_lease cache =
+  { cache; warm = false; base_hits = 0; base_misses = 0; slot = None }
+
+let acquire ~key ?dense_limit ~radius ~accepts ~alphabet inst =
+  let build () = create ?dense_limit ~radius ~accepts ~alphabet inst in
+  let existing =
+    locked (fun () ->
+        if not !sharing then `Disabled
+        else
+          match Hashtbl.find_opt pool key with
+          | Some slot when not slot.in_use ->
+              slot.in_use <- true;
+              `Leased slot
+          | Some _ -> `Busy
+          | None -> `Absent)
+  in
+  match existing with
+  | `Disabled | `Busy -> private_lease (build ())
+  | `Leased slot ->
+      let hits, misses = stats slot.cached in
+      {
+        cache = slot.cached;
+        warm = true;
+        base_hits = hits;
+        base_misses = misses;
+        slot = Some slot;
+      }
+  | `Absent -> (
+      (* build outside the lock; on a race the loser keeps a private
+         cache, which is merely a missed reuse, never a shared mutation *)
+      let cache = build () in
+      let slot = { in_use = true; cached = cache } in
+      let claimed =
+        locked (fun () ->
+            if !sharing && not (Hashtbl.mem pool key) then begin
+              Hashtbl.replace pool key slot;
+              true
+            end
+            else false)
+      in
+      match claimed with
+      | true -> { cache; warm = false; base_hits = 0; base_misses = 0; slot = Some slot }
+      | false -> private_lease cache)
+
+let lease_cache l = l.cache
+let lease_warm l = l.warm
+
+let lease_stats l =
+  let hits, misses = stats l.cache in
+  (hits - l.base_hits, misses - l.base_misses)
+
+let release l =
+  match l.slot with
+  | None -> ()
+  | Some slot -> locked (fun () -> slot.in_use <- false)

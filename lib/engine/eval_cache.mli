@@ -67,3 +67,62 @@ val ball : t -> int -> int array
 val stats : t -> int * int
 (** [(hits, misses)] accumulated so far. [misses] is the number of
     distinct (node, ball-labeling) pairs actually decoded. *)
+
+(** {1 Cross-run sharing}
+
+    A long-running process (the [lcp serve] daemon) pays the skeleton
+    extraction and the table misses over and over if every certificate
+    search builds a fresh cache. The shared pool keeps built caches
+    across searches, keyed by an opaque caller-supplied string that
+    must determine the verdict function completely: decoder identity,
+    radius, alphabet, graph, identifiers and ports (labels excluded —
+    they are the table's key dimension).
+
+    A cache is a single-domain object, so the pool hands it out under
+    an {e exclusive lease}: {!acquire} checks a key out, {!release}
+    checks it back in, and acquiring a key that is currently leased
+    falls back to a private unpooled cache (a missed reuse, never a
+    data race). The pool mutex orders the hand-off, so a cache built
+    on one domain may be reused from another after its lease cycles.
+
+    Sharing is disabled by default; one-shot runs are unaffected. *)
+
+type lease
+
+val sharing_enabled : unit -> bool
+
+val set_sharing : bool -> unit
+(** Enable or disable the pool process-wide; disabling drops every
+    pooled cache. *)
+
+val shared_size : unit -> int
+(** Number of pooled caches. *)
+
+val clear_shared : unit -> unit
+(** Drop every pooled cache (sharing stays enabled). *)
+
+val acquire :
+  key:string ->
+  ?dense_limit:int ->
+  radius:int ->
+  accepts:(View.t -> bool) ->
+  alphabet:string list ->
+  Instance.t ->
+  lease
+(** Obtain a cache for [key]: the pooled one when sharing is enabled,
+    the key is present and not currently leased (a {e warm} lease);
+    a freshly built one otherwise (pooled under [key] when sharing is
+    enabled and the key was absent, private otherwise). *)
+
+val lease_cache : lease -> t
+val lease_warm : lease -> bool
+(** Was this lease satisfied by an already-built pooled cache? *)
+
+val lease_stats : lease -> int * int
+(** [(hits, misses)] accumulated {e during this lease} — the delta
+    since {!acquire}, so per-run counters stay independent of how warm
+    the pooled cache already was. *)
+
+val release : lease -> unit
+(** Return a pooled cache to the pool (no-op on private leases). Call
+    exactly once, after the last query through the lease. *)

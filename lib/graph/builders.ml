@@ -165,3 +165,49 @@ let random_connected rng n p =
   let t = random_tree rng n in
   let extra = random_gnp rng n p in
   Graph.of_edges n (Graph.edges t @ Graph.edges extra)
+
+(* ------------------------------------------------------------------ *)
+(* the textual graph-spec grammar shared by the CLI and the serve
+   protocol: FAMILY[:ARGS], e.g. "cycle:5", "grid:3x4", "petersen" *)
+
+let spec_syntax =
+  "path:N cycle:N star:N complete:N grid:RxC torus:RxC hypercube:D tree:D \
+   watermelon:L1,L2,... theta:A,B,C petersen caterpillar:SxL"
+
+let of_spec spec =
+  let dims s =
+    match String.split_on_char 'x' s with
+    | [ a; b ] -> (int_of_string a, int_of_string b)
+    | _ -> failwith "expected ROWSxCOLS"
+  in
+  let ints s = List.map int_of_string (String.split_on_char ',' s) in
+  try
+    Ok
+      (match String.split_on_char ':' spec with
+      | [ "path"; n ] -> path (int_of_string n)
+      | [ "cycle"; n ] -> cycle (int_of_string n)
+      | [ "star"; n ] -> star (int_of_string n)
+      | [ "complete"; n ] -> complete (int_of_string n)
+      | [ "grid"; d ] ->
+          let r, c = dims d in
+          grid r c
+      | [ "torus"; d ] ->
+          let r, c = dims d in
+          torus r c
+      | [ "hypercube"; d ] -> hypercube (int_of_string d)
+      | [ "tree"; d ] -> binary_tree (int_of_string d)
+      | [ "watermelon"; ls ] -> watermelon (ints ls)
+      | [ "theta"; ls ] -> (
+          match ints ls with
+          | [ a; b; c ] -> theta a b c
+          | _ -> failwith "theta:A,B,C")
+      | [ "petersen" ] -> petersen ()
+      | [ "caterpillar"; d ] ->
+          let s, l = dims d in
+          caterpillar s l
+      | _ -> failwith ("unknown graph family; try " ^ spec_syntax))
+  with
+  | Failure msg ->
+      Error (Printf.sprintf "bad graph spec %S: %s" spec msg)
+  | Invalid_argument msg ->
+      Error (Printf.sprintf "bad graph spec %S: %s" spec msg)

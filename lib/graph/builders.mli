@@ -71,3 +71,12 @@ val random_tree : Random.State.t -> int -> Graph.t
 
 val random_connected : Random.State.t -> int -> float -> Graph.t
 (** Random tree plus G(n,p) noise: connected by construction. *)
+
+val of_spec : string -> (Graph.t, string) result
+(** Parse the textual graph-spec grammar shared by the [lcp] CLI and
+    the serve protocol — [FAMILY[:ARGS]], e.g. ["cycle:5"],
+    ["grid:3x4"], ["petersen"]; see {!spec_syntax} for the full
+    listing. The error carries a human-readable message. *)
+
+val spec_syntax : string
+(** One-line summary of every accepted spec form, for usage errors. *)

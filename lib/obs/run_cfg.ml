@@ -38,13 +38,13 @@ let rng t = Random.State.make [| t.seed |]
 
 let span t name f =
   Metrics.with_span
-    ~enter:(fun path -> t.sink.Sink.emit (Sink.Span_start path))
-    ~leave:(fun path ns -> t.sink.Sink.emit (Sink.Span_end (path, ns)))
+    ~enter:(fun path -> t.sink.Sink.emit t.metrics (Sink.Span_start path))
+    ~leave:(fun path ns -> t.sink.Sink.emit t.metrics (Sink.Span_end (path, ns)))
     t.metrics name f
 
 let count t ?by name = Metrics.incr t.metrics ?by name
 let set_gauge t name v = Metrics.set_gauge t.metrics name v
-let progress t line = t.sink.Sink.emit (Sink.Progress line)
+let progress t line = t.sink.Sink.emit t.metrics (Sink.Progress line)
 let flush t = t.sink.Sink.flush t.metrics
 
 let remaining_s t =

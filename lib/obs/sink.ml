@@ -5,45 +5,60 @@ type event =
 
 type t = {
   name : string;
-  emit : event -> unit;
+  emit : Metrics.t -> event -> unit;
   flush : Metrics.t -> unit;
 }
 
-let null = { name = "null"; emit = ignore; flush = ignore }
+let null = { name = "null"; emit = (fun _ _ -> ()); flush = ignore }
 
 let stderr_progress =
   {
     name = "stderr";
     emit =
-      (function
-      | Span_start _ -> ()
-      | Span_end (path, ns) ->
-          Printf.eprintf "[lcp] %-40s %8.3fs\n%!" path (float_of_int ns /. 1e9)
-      | Progress line -> Printf.eprintf "[lcp] %s\n%!" line);
+      (fun _ -> function
+        | Span_start _ -> ()
+        | Span_end (path, ns) ->
+            Printf.eprintf "[lcp] %-40s %8.3fs\n%!" path (float_of_int ns /. 1e9)
+        | Progress line -> Printf.eprintf "[lcp] %s\n%!" line);
     flush = (fun m -> Format.eprintf "[lcp] metrics@.%a@." Metrics.pp m);
   }
+
+(* Write the full document to a sibling temp file, flush it, then
+   rename over [path]: rename is atomic on POSIX, so a tailer (or a
+   reader racing a crash) always sees either the previous complete
+   document or the new complete document — never a torn or
+   half-buffered final line. *)
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc content;
+      output_char oc '\n';
+      flush oc);
+  Sys.rename tmp path
+
+let write_metrics path m =
+  write_atomic path (Json.to_string_pretty (Metrics.to_json m))
 
 let json_file path =
   {
     name = Printf.sprintf "json:%s" path;
-    emit = ignore;
-    flush =
-      (fun m ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () ->
-            output_string oc (Json.to_string_pretty (Metrics.to_json m));
-            output_char oc '\n'));
+    (* live: every event — span closes included — rewrites the file
+       with the current snapshot, so tailing it during a long run
+       shows progress without waiting for the final flush *)
+    emit = (fun m _event -> write_metrics path m);
+    flush = (fun m -> write_metrics path m);
   }
 
 let tee a b =
   {
     name = Printf.sprintf "tee(%s,%s)" a.name b.name;
     emit =
-      (fun e ->
-        a.emit e;
-        b.emit e);
+      (fun m e ->
+        a.emit m e;
+        b.emit m e);
     flush =
       (fun m ->
         a.flush m;

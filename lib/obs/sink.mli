@@ -4,7 +4,12 @@
     lines as they happen ([emit]), and the aggregate {!Metrics.t} once
     at the end ([flush]). Everything that takes a {!Run_cfg.t} reports
     through the sink it carries, so redirecting a whole sweep from
-    silent to stderr-progress to a JSON file is a one-field change. *)
+    silent to stderr-progress to a JSON file is a one-field change.
+
+    [emit] receives the run's metrics registry alongside the event, so
+    sinks that render aggregate state (the JSON file sink, the serve
+    daemon's per-request streams) can snapshot it live instead of
+    waiting for the final flush. *)
 
 type event =
   | Span_start of string  (** span path, fired on entry *)
@@ -13,7 +18,7 @@ type event =
 
 type t = {
   name : string;  (** for error messages and [pp] *)
-  emit : event -> unit;
+  emit : Metrics.t -> event -> unit;
   flush : Metrics.t -> unit;
 }
 
@@ -26,8 +31,15 @@ val stderr_progress : t
     happen, and a metrics dump on flush. *)
 
 val json_file : string -> t
-(** Silent during the run; [flush] writes {!Metrics.to_json} (pretty,
-    trailing newline) to the given path, creating or truncating it. *)
+(** A {e live} metrics file: every event — and the final [flush] —
+    rewrites [path] with {!Metrics.to_json} (pretty, trailing newline)
+    of the current snapshot. Each write goes to [path ^ ".tmp"], is
+    flushed, and is renamed over [path], so a reader tailing the file
+    mid-run never observes a torn or buffered partial document. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path content] writes [content ^ "\n"] to [path] via
+    the flush-then-rename protocol {!json_file} uses. *)
 
 val tee : t -> t -> t
 (** Both sinks see every event and every flush, left first. *)

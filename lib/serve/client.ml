@@ -1,0 +1,53 @@
+(* A tiny synchronous client for the serve protocol: one request on
+   the wire at a time, interim event lines handed to a callback, the
+   final response line returned. This is all `lcp client`, the tests
+   and the bench series need. *)
+
+module Json = Lcp_obs.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Send one raw JSON line, then read lines until the final response
+   (anything that is not an interim event) arrives. *)
+let request_json ?(on_event = fun _ -> ()) t json =
+  output_string t.oc (Json.to_string json);
+  output_char t.oc '\n';
+  flush t.oc;
+  let rec read () =
+    match input_line t.ic with
+    | exception End_of_file -> Error "connection closed before response"
+    | line -> (
+        match Json.of_string line with
+        | Error msg -> Error ("bad response line: " ^ msg)
+        | Ok j ->
+            if Protocol.is_event j then begin
+              on_event j;
+              read ()
+            end
+            else Ok j)
+  in
+  read ()
+
+let request ?on_event t req =
+  let on_event =
+    Option.map
+      (fun f j -> Result.iter f (Protocol.event_of_json j))
+      on_event
+  in
+  match request_json ?on_event t (Protocol.request_to_json req) with
+  | Error _ as e -> e
+  | Ok j -> Protocol.response_of_json j
+
+let with_connection path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

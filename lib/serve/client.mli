@@ -1,0 +1,32 @@
+(** A synchronous client for the {!Protocol} wire format — the engine
+    behind [lcp client], the protocol tests and the serve bench.
+
+    One request at a time per connection: {!request} writes the request
+    line, forwards interim event lines to [on_event], and returns the
+    final response. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's socket path.
+    @raise Unix.Unix_error if the daemon is not there. *)
+
+val close : t -> unit
+
+val with_connection : string -> (t -> 'a) -> 'a
+
+val request :
+  ?on_event:(Protocol.event -> unit) ->
+  t ->
+  Protocol.request ->
+  (Protocol.response, string) result
+
+val request_json :
+  ?on_event:(Lcp_obs.Json.t -> unit) ->
+  t ->
+  Lcp_obs.Json.t ->
+  (Lcp_obs.Json.t, string) result
+(** Raw-line variant: send any JSON value as a request line, get the
+    final response line back un-decoded (events still filtered to
+    [on_event]). Lets tests exercise malformed and unknown-field
+    requests byte-for-byte. *)

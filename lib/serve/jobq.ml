@@ -1,0 +1,59 @@
+(* A bounded FIFO handoff between the connection threads (producers)
+   and the worker threads (consumers). Admission never blocks: a full
+   queue refuses the push and the caller turns that into a structured
+   [rejected: queue_full] response — backpressure is explicit and
+   immediate instead of silent and unbounded. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Jobq.create: capacity must be >= 0";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let try_push t x =
+  locked t (fun () ->
+      if t.closed || Queue.length t.items >= t.capacity then false
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        match Queue.take_opt t.items with
+        | Some x -> Some x
+        | None ->
+            if t.closed then None
+            else begin
+              Condition.wait t.nonempty t.lock;
+              wait ()
+            end
+      in
+      wait ())
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let depth t = locked t (fun () -> Queue.length t.items)
+let capacity t = t.capacity
+let is_closed t = locked t (fun () -> t.closed)

@@ -1,0 +1,70 @@
+(** Server-side request execution: turn an admitted {!Protocol.request}
+    into a result payload under a per-request {!Lcp_obs.Run_cfg.t}.
+
+    One {!t} lives for the whole daemon: it owns the server-wide
+    {!Lcp_obs.Metrics.t} aggregate (what a [metrics] request reports)
+    and the admission {!limits} that cap client-supplied knobs. The
+    warm state itself — the iso-class listings of
+    {!Lcp_engine.Sweep.iso_classes} and the shared
+    {!Lcp_engine.Eval_cache} acceptance tables — is process-global and
+    persists across requests by construction; this module only
+    accounts for it ([serve/cache_warm_hits]).
+
+    {b Determinism contract}: for equal requests, every counter in
+    {!work_counter_names} and every verdict/witness byte in the payload
+    is identical whether the job runs one-shot or against a warm
+    daemon, and for any [jobs]. The counters in
+    {!cache_counter_names} are cache-temperature observations and are
+    excluded from that contract. *)
+
+type limits = {
+  max_jobs : int;
+  max_n : int;  (** sweep order cap, and the soundness-search cap for [check] *)
+  max_lint_n : int;
+  max_samples : int;
+  max_deadline_ms : int option;  (** cap on client deadlines, if any *)
+}
+
+val default_limits : limits
+
+type t = {
+  limits : limits;
+  version : string;
+  metrics : Lcp_obs.Metrics.t;
+  started_at : float;
+}
+
+val create : ?limits:limits -> ?version:string -> unit -> t
+
+val cfg_of_request :
+  t ->
+  Protocol.request ->
+  emit:(Lcp_obs.Sink.event -> unit) ->
+  Lcp_obs.Run_cfg.t
+(** Build the per-request cfg {e at admission time} — queue wait counts
+    against the deadline. Client knobs are capped by [t.limits]; [emit]
+    receives span/progress events iff the request asked for
+    [progress]. *)
+
+val work_counter_names : string list
+(** The deterministic work counters (independent of [jobs] and of cache
+    temperature) reported under ["counters"] in job payloads. *)
+
+val cache_counter_names : string list
+(** The temperature-dependent cache counters reported under
+    ["cache"]. *)
+
+val execute :
+  t ->
+  Protocol.request ->
+  Lcp_obs.Run_cfg.t ->
+  Protocol.status * string option * Lcp_obs.Json.t
+(** Run one admitted job. Never raises: usage problems and execution
+    failures come back as {!Protocol.Failed} with a reason, an already
+    expired deadline as {!Protocol.Expired}. On return the request's
+    counters have been folded into [t.metrics] and
+    [serve/cache_warm_hits] bumped by the request's warm-state hits.
+    Control kinds must not be passed here. *)
+
+val ping_payload : t -> Lcp_obs.Json.t
+val metrics_payload : t -> Lcp_obs.Json.t

@@ -113,6 +113,39 @@ let test_json_sink () =
       | Error e -> Alcotest.fail e
       | Ok m -> check_int "counter survives the file" 2 (Metrics.counter m "written"))
 
+(* Regression for the tailing contract: the metrics file is rewritten
+   atomically on EVERY event, so a reader that opens it mid-run — after
+   any span closes, before the final flush — always sees one complete,
+   parseable JSON document, never a torn or buffered prefix. *)
+let test_json_sink_live () =
+  let path = Filename.temp_file "lcp_obs_live" ".json" in
+  let cfg = Run_cfg.make ~jobs:1 ~sink:(Sink.json_file path) () in
+  let read_doc () =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.of_string s with
+    | Error e -> Alcotest.fail ("mid-run metrics file torn: " ^ e)
+    | Ok j -> (
+        match Metrics.of_json j with
+        | Error e -> Alcotest.fail e
+        | Ok m -> m)
+  in
+  Run_cfg.count cfg ~by:1 "step";
+  Run_cfg.span cfg "phase1" (fun () -> ());
+  (* no flush yet: the span-end event alone must have produced a
+     complete document that already carries the counter *)
+  let mid = read_doc () in
+  check_int "mid-run counter visible" 1 (Metrics.counter mid "step");
+  Run_cfg.count cfg ~by:1 "step";
+  Run_cfg.span cfg "phase2" (fun () -> ());
+  let mid2 = read_doc () in
+  check_int "second span refreshed the file" 2 (Metrics.counter mid2 "step");
+  Run_cfg.flush cfg;
+  let final = read_doc () in
+  check_int "flush is the same document" 2 (Metrics.counter final "step");
+  Sys.remove path
+
 (* The determinism contract, end to end: the same sweep at jobs=1 and
    jobs=4 must produce identical work-item counters (gauges and spans
    are exempt — they measure the actual execution). *)
@@ -150,6 +183,7 @@ let suite =
     case "schema v2 accepts v1, rejects v3" test_schema_versions;
     case "run-cfg semantics" test_run_cfg_semantics;
     case "json sink writes parseable metrics" test_json_sink;
+    case "json sink is live and atomic mid-run" test_json_sink_live;
     slow_case "counters identical jobs=1 vs jobs=4 (n=6 sweep)"
       test_counter_determinism;
   ]
