@@ -693,8 +693,208 @@ let series_sync () =
         [ 1; 2 ])
     [ 8; 16; 24 ]
 
+(* ------------------------------------------------------------------ *)
+(* The PR-7 large series (opt-in via --large, out of the default run):
+   graph-build throughput, sampled certification throughput and the
+   CSR-vs-list traversal A/B on 10^5..10^6-node instances, written to
+   BENCH_large.json. The list side of the A/B materializes
+   [Graph.neighbors] per query — the seed representation's access
+   pattern — so the speedup column is the cross-PR baseline for
+   substrate changes.                                                   *)
+
+let peak_rss_kb () =
+  (* VmHWM from /proc/self/status; absent off Linux *)
+  try
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec scan () =
+          let line = input_line ic in
+          if String.length line >= 6 && String.sub line 0 6 = "VmHWM:" then
+            Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB"
+              (fun kb -> Some kb)
+          else scan ()
+        in
+        try scan () with End_of_file -> None)
+  with Sys_error _ -> None
+
+(* Traversal workload: sum of neighbor ids over every node. The CSR
+   side folds in place; the list side materializes the per-node list
+   first, as every pre-CSR hot loop did. *)
+let traverse_csr g =
+  let acc = ref 0 in
+  for v = 0 to Graph.order g - 1 do
+    Graph.iter_neighbors (fun w -> acc := !acc + w) g v
+  done;
+  !acc
+
+let traverse_list g =
+  let acc = ref 0 in
+  for v = 0 to Graph.order g - 1 do
+    List.iter (fun w -> acc := !acc + w) (Graph.neighbors g v)
+  done;
+  !acc
+
+let series_large ~fast () =
+  Printf.printf "\n== series: large sampled workload (CSR substrate)\n";
+  let build_rows =
+    let sizes = if fast then [ 100_000 ] else [ 100_000; 1_000_000 ] in
+    List.concat_map
+      (fun model ->
+        List.map
+          (fun nodes ->
+            let rng = Random.State.make [| 7; nodes |] in
+            let g, secs =
+              time (fun () ->
+                  match Random_graphs.of_model rng ~nodes model with
+                  | Ok g -> g
+                  | Error msg -> failwith msg)
+            in
+            let n = Graph.order g and m = Graph.size g in
+            Printf.printf
+              "   build %-6s n=%8d m=%9d %8.3fs (%.2e nodes/s, %.2e edges/s)\n"
+              model n m secs
+              (float_of_int n /. secs)
+              (float_of_int m /. secs);
+            (model, g, secs))
+          sizes)
+      [ "gnp"; "ba" ]
+  in
+  (* traversal A/B on the largest gnp instance *)
+  let g_big =
+    let pick (model, g, _) acc =
+      match acc with
+      | Some (_, h, _) when Graph.order h >= Graph.order g -> acc
+      | _ when model = "gnp" -> Some (model, g, 0.)
+      | _ -> acc
+    in
+    match List.fold_right pick build_rows None with
+    | Some (_, g, _) -> g
+    | None -> assert false
+  in
+  let sum_list, list_s = time (fun () -> traverse_list g_big) in
+  let sum_csr, csr_s = time (fun () -> traverse_csr g_big) in
+  assert (sum_list = sum_csr);
+  Printf.printf
+    "   traversal n=%d: list %.3fs vs csr %.3fs (%.1fx, identical sums)\n"
+    (Graph.order g_big) list_s csr_s
+    (list_s /. Float.max csr_s 1e-9);
+  (* sampled certification throughput through the standard phases *)
+  let sample_cfg = Run_cfg.make ~seed:7 () in
+  let eval_nodes = 50_000 in
+  let report, sample_s =
+    time (fun () ->
+        Sampling.run ~eval_nodes ~trials:4 ~pairs:1_000 ~cfg:sample_cfg
+          ~decoder:"trivial2" ~model:"gnp" (D_trivial.suite ~k:2) g_big)
+  in
+  let evaluated =
+    match report.Sampling.completeness with
+    | Some c -> c.Sampling.evaluated
+    | None -> 0
+  in
+  Printf.printf "   sample trivial2 n=%d: %d evals in %.3fs (%.2e nodes/s)\n"
+    (Graph.order g_big) evaluated sample_s
+    (float_of_int evaluated /. Float.max sample_s 1e-9);
+  (* the small n=8 sweep A/B figure: same traversal workload over the
+     whole n=8 (n=7 under --fast) iso-class corpus *)
+  let n8 = if fast then 7 else 8 in
+  let classes, enum_s =
+    time (fun () ->
+        Lcp_engine.Sweep.iso_classes ~cfg:(Run_cfg.sequential sample_cfg) n8)
+  in
+  let reps = 200 in
+  let sweep_list, n8_list_s =
+    time (fun () ->
+        let acc = ref 0 in
+        for _ = 1 to reps do
+          List.iter (fun g -> acc := !acc + traverse_list g) classes
+        done;
+        !acc)
+  in
+  let sweep_csr, n8_csr_s =
+    time (fun () ->
+        let acc = ref 0 in
+        for _ = 1 to reps do
+          List.iter (fun g -> acc := !acc + traverse_csr g) classes
+        done;
+        !acc)
+  in
+  assert (sweep_list = sweep_csr);
+  Printf.printf
+    "   n=%d sweep corpus (%d classes, %d reps): list %.3fs vs csr %.3fs \
+     (%.1fx)\n"
+    n8 (List.length classes) reps n8_list_s n8_csr_s
+    (n8_list_s /. Float.max n8_csr_s 1e-9);
+  (match peak_rss_kb () with
+  | Some kb -> Printf.printf "   peak RSS: %d kB\n" kb
+  | None -> Printf.printf "   peak RSS: unavailable (no /proc)\n");
+  let ns s = int_of_float (s *. 1e9) in
+  Json.Obj
+    [
+      ("schema_version", Json.Int bench_schema_version);
+      ("jobs", Json.Int sample_cfg.Run_cfg.jobs);
+      ( "build",
+        Json.List
+          (List.map
+             (fun (model, g, secs) ->
+               let n = Graph.order g and m = Graph.size g in
+               Json.Obj
+                 [
+                   ("model", Json.String model);
+                   ("nodes", Json.Int n);
+                   ("edges", Json.Int m);
+                   ("wall_ns", Json.Int (ns secs));
+                   ("nodes_per_sec", Json.Int (int_of_float (float_of_int n /. Float.max secs 1e-9)));
+                   ("edges_per_sec", Json.Int (int_of_float (float_of_int m /. Float.max secs 1e-9)));
+                 ])
+             build_rows) );
+      ( "traversal",
+        Json.Obj
+          [
+            ("nodes", Json.Int (Graph.order g_big));
+            ("edges", Json.Int (Graph.size g_big));
+            ("list_wall_ns", Json.Int (ns list_s));
+            ("csr_wall_ns", Json.Int (ns csr_s));
+            ("speedup", Json.String (Printf.sprintf "%.2f" (list_s /. Float.max csr_s 1e-9)));
+          ] );
+      ( "sample",
+        Json.Obj
+          [
+            ("decoder", Json.String "trivial2");
+            ("nodes", Json.Int (Graph.order g_big));
+            ("evaluated", Json.Int evaluated);
+            ("wall_ns", Json.Int (ns sample_s));
+            ("nodes_per_sec", Json.Int (int_of_float (float_of_int evaluated /. Float.max sample_s 1e-9)));
+            ("violations", Json.Int report.Sampling.violations);
+          ] );
+      ( "sweep_n8_ab",
+        Json.Obj
+          [
+            ("n", Json.Int n8);
+            ("classes", Json.Int (List.length classes));
+            ("reps", Json.Int reps);
+            ("enumerate_wall_ns", Json.Int (ns enum_s));
+            ("list_wall_ns", Json.Int (ns n8_list_s));
+            ("csr_wall_ns", Json.Int (ns n8_csr_s));
+            ("speedup", Json.String (Printf.sprintf "%.2f" (n8_list_s /. Float.max n8_csr_s 1e-9)));
+          ] );
+      ( "peak_rss_kb",
+        match peak_rss_kb () with Some kb -> Json.Int kb | None -> Json.Null );
+    ]
+
+let write_large_json path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty doc);
+      output_string oc "\n");
+  Printf.printf "large series written to %s\n" path
+
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
+  let large = Array.exists (fun a -> a = "--large") Sys.argv in
   let metrics_out =
     let out = ref "BENCH_sweep.json" in
     Array.iteri
@@ -706,6 +906,15 @@ let () =
   in
   Printf.printf "LCP benchmark harness (bechamel)%s\n\n"
     (if fast then " [fast]" else "");
+  if large then begin
+    (* --large runs ONLY the large series: it is CI's large-smoke step,
+       not part of the default bench (tier-1 time unchanged). *)
+    let doc = series_large ~fast () in
+    write_large_json
+      (Filename.concat (Filename.dirname metrics_out) "BENCH_large.json")
+      doc;
+    exit 0
+  end;
   run_benchmarks ~fast ();
   series_neighborhood ();
   series_cert_sizes ();

@@ -26,8 +26,11 @@ let () =
   let v = Option.get (D_shatter.shatter_point g) in
   Format.printf "shatter point: node %d (removing N[%d] leaves %d racks)@." v v
     (List.length
-       (let removed = v :: Graph.neighbors g v in
-        let rest = List.filter (fun w -> not (List.mem w removed)) (Graph.nodes g) in
+       (let rest =
+          List.filter
+            (fun w -> w <> v && not (Graph.mem_edge g v w))
+            (Graph.nodes g)
+        in
         let sub, _ = Graph.induced g rest in
         Graph.components sub));
 

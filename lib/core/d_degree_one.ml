@@ -61,7 +61,8 @@ let prover (inst : Instance.t) =
       | None -> None (* outside the promise class H1 *)
       | Some u ->
           let v =
-            match Graph.neighbors g u with [ w ] -> w | _ -> assert false
+            assert (Graph.degree g u = 1);
+            Graph.nth_neighbor g u 0
           in
           let lab =
             Array.mapi

@@ -59,12 +59,13 @@ let accepts view =
            List.filter_map
              (fun u ->
                if not (interior u) then None
-               else
-                 match Graph.neighbors g u with
-                 | [ x; y ] ->
-                     let key a b = (min a b, max a b) in
-                     Some (key u x, key u y)
-                 | _ -> None)
+               else if Graph.degree g u = 2 then begin
+                 let x = Graph.nth_neighbor g u 0
+                 and y = Graph.nth_neighbor g u 1 in
+                 let key a b = (min a b, max a b) in
+                 Some (key u x, key u y)
+               end
+               else None)
              (Graph.nodes g)
          in
          let keyed_edges = List.map (fun (a, b) -> (min a b, max a b)) edges in
@@ -86,10 +87,13 @@ let prover (inst : Instance.t) =
       if idx = n then ()
       else begin
         let next =
-          match List.filter (fun w -> w <> prev) (Graph.neighbors g cur) with
-          | [ w ] -> w
-          | _ when prev = -1 -> List.hd (Graph.neighbors g cur)
-          | _ -> assert false
+          (* on a cycle every node has degree 2: step to the neighbor
+             we did not come from *)
+          if prev = -1 then Graph.nth_neighbor g cur 0
+          else begin
+            let a = Graph.nth_neighbor g cur 0 in
+            if a = prev then Graph.nth_neighbor g cur 1 else a
+          end
         in
         Hashtbl.replace color_tbl (edge_key cur next) (idx mod 2);
         walk cur next (idx + 1)

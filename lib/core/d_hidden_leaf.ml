@@ -61,7 +61,8 @@ let prover ~k (inst : Instance.t) =
       | None -> None
       | Some u ->
           let v =
-            match Graph.neighbors g u with [ w ] -> w | _ -> assert false
+            assert (Graph.degree g u = 1);
+            Graph.nth_neighbor g u 0
           in
           Some
             (Array.mapi

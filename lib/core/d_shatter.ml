@@ -1,7 +1,8 @@
 open Lcp_graph
 open Lcp_local
 
-let closed_neighborhood g v = v :: Graph.neighbors g v
+let closed_neighborhood g v =
+  v :: List.rev (Graph.fold_neighbors (fun w acc -> w :: acc) g v [])
 
 let shatter_components g v =
   let removed = closed_neighborhood g v in
@@ -132,7 +133,6 @@ let prover (inst : Instance.t) =
   | None, _ | _, None -> None
   | Some _, Some v -> (
       let comps = shatter_components g v in
-      let nv = Graph.neighbors g v in
       let n = Graph.order g in
       let vid = Ident.id inst.Instance.ids v in
       (* per-component 2-colorings and the color seen from N(v) *)
@@ -162,7 +162,8 @@ let prover (inst : Instance.t) =
             let adjacent_colors =
               Hashtbl.fold
                 (fun w c acc ->
-                  if List.exists (fun u -> Graph.mem_edge g u w) nv then c :: acc
+                  if Graph.exists_neighbor (fun u -> Graph.mem_edge g u w) g v
+                  then c :: acc
                   else acc)
                 tbl []
               |> List.sort_uniq Stdlib.compare
@@ -178,7 +179,8 @@ let prover (inst : Instance.t) =
           let lab =
             Array.init n (fun w ->
                 if w = v then encode_type0 ~id:vid
-                else if List.mem w nv then encode_type1 ~id:vid ~colors:vector
+                else if Graph.mem_edge g v w then
+                  encode_type1 ~id:vid ~colors:vector
                 else
                   let i = comp_of.(w) in
                   assert (i >= 0);

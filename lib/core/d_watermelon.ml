@@ -10,10 +10,15 @@ let trace_path g ~src ~dst first =
     if steps > Graph.order g then None
     else if cur = dst then Some (List.rev (cur :: acc))
     else if cur = src || Graph.degree g cur <> 2 then None
-    else
-      match List.filter (fun w -> w <> prev) (Graph.neighbors g cur) with
-      | [ next ] -> go cur next (cur :: acc) (steps + 1)
-      | _ -> None
+    else begin
+      (* cur has degree 2 (checked above): continue through the
+         neighbor we did not come from; if prev is not a neighbor the
+         walk has left the path discipline *)
+      let a = Graph.nth_neighbor g cur 0 and b = Graph.nth_neighbor g cur 1 in
+      if a = prev then go cur b (cur :: acc) (steps + 1)
+      else if b = prev then go cur a (cur :: acc) (steps + 1)
+      else None
+    end
   in
   go src first [ src ] 0
 
@@ -21,7 +26,10 @@ let decompose_from g v1 v2 =
   if v1 = v2 then None
   else
     let paths =
-      List.map (fun first -> trace_path g ~src:v1 ~dst:v2 first) (Graph.neighbors g v1)
+      List.rev
+        (Graph.fold_neighbors
+           (fun first acc -> trace_path g ~src:v1 ~dst:v2 first :: acc)
+           g v1 [])
     in
     if List.exists Option.is_none paths then None
     else

@@ -44,14 +44,14 @@ let even_detour g ~start ~forbidden ~max_len =
         | _ -> ()
     end
     else
-      List.iter
+      Graph.iter_neighbors
         (fun w ->
           if w <> prev then
             let first = match first with None -> Some w | s -> s in
             go w v (steps + 1)
               (if steps + 1 = target_len then acc else w :: acc)
               first target_len)
-        (Graph.neighbors g v)
+        g v
   in
   let rec try_len len =
     if len > max_len then None

@@ -158,16 +158,19 @@ let realize (assignment : assignment) =
       let ports =
         Array.init n (fun v ->
             let i = List.nth all_ids v in
-            let nbrs = Graph.neighbors graph v in
             let recorded =
-              List.map
-                (fun w ->
-                  let j = List.nth all_ids w in
-                  (Option.value ~default:max_int (Hashtbl.find_opt port_of (i, j)), w))
-                nbrs
+              List.rev
+                (Graph.fold_neighbors
+                   (fun w acc ->
+                     let j = List.nth all_ids w in
+                     ( Option.value ~default:max_int
+                         (Hashtbl.find_opt port_of (i, j)),
+                       w )
+                     :: acc)
+                   graph v [])
             in
             let sorted = List.sort Stdlib.compare recorded in
-            let d = List.length nbrs in
+            let d = Graph.degree graph v in
             let legal =
               List.for_all (fun (p, _) -> p >= 1 && p <= d) sorted
               && List.length (List.sort_uniq Stdlib.compare (List.map fst sorted)) = d

@@ -8,8 +8,7 @@ let erase (inst : Instance.t) ~nodes =
 
 let reconstructible g ~erased =
   List.for_all
-    (fun v ->
-      List.exists (fun w -> not (List.mem w erased)) (Graph.neighbors g v))
+    (fun v -> Graph.exists_neighbor (fun w -> not (List.mem w erased)) g v)
     erased
 
 (* wire format: own-cert '|' p<port>=<backup> '|' ... *)
@@ -84,9 +83,13 @@ let wrap (base : Decoder.suite) =
             | Some { own; _ } -> reconstructed.(x) <- Some own
             | None -> (
                 let copies =
-                  List.filter_map
-                    (fun y -> backup_about y x)
-                    (Graph.neighbors view.View.graph x)
+                  List.rev
+                    (Graph.fold_neighbors
+                       (fun y acc ->
+                         match backup_about y x with
+                         | Some c -> c :: acc
+                         | None -> acc)
+                       view.View.graph x [])
                 in
                 match List.sort_uniq Stdlib.compare copies with
                 | [ c ] -> reconstructed.(x) <- Some c
@@ -116,9 +119,11 @@ let wrap (base : Decoder.suite) =
         Some
           (Array.init (Graph.order g) (fun v ->
                let backups =
-                 List.map
-                   (fun w -> (Port.port_of inst.Instance.ports v w, lab.(w)))
-                   (Graph.neighbors g v)
+                 List.rev
+                   (Graph.fold_neighbors
+                      (fun w acc ->
+                        (Port.port_of inst.Instance.ports v w, lab.(w)) :: acc)
+                      g v [])
                in
                encode ~own:lab.(v) ~backups))
   in

@@ -59,8 +59,17 @@ val pendant : Graph.t -> int -> Graph.t
     (the new node has index [order g]). Puts the result in the paper's
     class H1 (min degree 1) when [g] had min degree >= 1. *)
 
+val double_cover : Graph.t -> Graph.t
+(** Bipartite double cover [G x K2] on [2 * order g] nodes: node
+    [(v, side)] is [v + side * order g], and every edge [{u,v}] lifts
+    to [{u0,v1}] and [{v0,u1}]. Always bipartite; connected iff [g] is
+    connected and non-bipartite. This is how the sampled workload
+    derives a yes-instance for the 2-coloring decoders from an
+    arbitrary random graph. O(n + m). *)
+
 val random_gnp : Random.State.t -> int -> float -> Graph.t
-(** Erdos-Renyi G(n, p). *)
+(** Erdos-Renyi G(n, p). Quadratic pair scan; for large sparse
+    instances use {!Random_graphs.gnp} (skip sampling, O(n + m)). *)
 
 val random_bipartite : Random.State.t -> int -> int -> float -> Graph.t
 (** Random bipartite graph with parts of the given sizes; each cross

@@ -16,14 +16,14 @@ let two_color g =
       Queue.add start queue;
       while !ok && not (Queue.is_empty queue) do
         let v = Queue.pop queue in
-        List.iter
+        Graph.iter_neighbors
           (fun w ->
             if colors.(w) = -1 then begin
               colors.(w) <- 1 - colors.(v);
               Queue.add w queue
             end
             else if colors.(w) = colors.(v) then ok := false)
-          (Graph.neighbors g v)
+          g v
       done
     end
   done;
@@ -46,7 +46,7 @@ let odd_cycle g =
       Queue.add start queue;
       while !conflict = None && not (Queue.is_empty queue) do
         let v = Queue.pop queue in
-        List.iter
+        Graph.iter_neighbors
           (fun w ->
             if !conflict = None then
               if colors.(w) = -1 then begin
@@ -55,7 +55,7 @@ let odd_cycle g =
                 Queue.add w queue
               end
               else if colors.(w) = colors.(v) then conflict := Some (v, w))
-          (Graph.neighbors g v)
+          g v
       done
     end
   done;
@@ -93,7 +93,7 @@ let color_component g ~k colors comp =
   (* BFS order within the component keeps constrained nodes adjacent *)
   let order = Array.of_list comp in
   let m = Array.length order in
-  let feasible v c = List.for_all (fun w -> colors.(w) <> c) (Graph.neighbors g v) in
+  let feasible v c = Graph.for_all_neighbors (fun w -> colors.(w) <> c) g v in
   let rec go i used =
     if i = m then true
     else begin
@@ -146,13 +146,16 @@ let greedy g =
      single bool scratch array replaces the O(deg^2) List.mem scan *)
   let forbidden = Array.make (max n 1) false in
   for v = 0 to n - 1 do
-    let nbrs = Graph.neighbors g v in
-    List.iter (fun w -> if colors.(w) >= 0 then forbidden.(colors.(w)) <- true) nbrs;
+    Graph.iter_neighbors
+      (fun w -> if colors.(w) >= 0 then forbidden.(colors.(w)) <- true)
+      g v;
     let c = ref 0 in
     while forbidden.(!c) do
       incr c
     done;
     colors.(v) <- !c;
-    List.iter (fun w -> if colors.(w) >= 0 then forbidden.(colors.(w)) <- false) nbrs
+    Graph.iter_neighbors
+      (fun w -> if colors.(w) >= 0 then forbidden.(colors.(w)) <- false)
+      g v
   done;
   colors

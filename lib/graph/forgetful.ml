@@ -24,9 +24,9 @@ let escape_path g ~r ~v ~u =
   let rec go cur depth acc =
     if depth = r then raise (Found (List.rev acc))
     else
-      List.iter
+      Graph.iter_neighbors
         (fun next -> if step_ok cur next then go next (depth + 1) (next :: acc))
-        (Graph.neighbors g cur)
+        g cur
   in
   try
     go v 0 [ v ];
@@ -39,12 +39,12 @@ let check g ~r =
     let witnesses =
       Graph.fold_nodes
         (fun v acc ->
-          List.fold_left
-            (fun acc u ->
+          Graph.fold_neighbors
+            (fun u acc ->
               match escape_path g ~r ~v ~u with
               | Some p -> { v; u; escape = p } :: acc
               | None -> raise (Fail (v, u)))
-            acc (Graph.neighbors g v))
+            g v acc)
         g []
     in
     Forgetful (List.rev witnesses)

@@ -1,6 +1,11 @@
+(* Flat CSR adjacency. Row [v] lives at [adj.(offsets.(v)) ..
+   adj.(offsets.(v+1) - 1)], strictly increasing, no self-loops, no
+   duplicates — the same neighbor order the historical sorted-list
+   representation exposed, so port numbering is unchanged. *)
 type t = {
   n : int;
-  adj : int list array; (* sorted, no duplicates, no self-loops *)
+  offsets : int array; (* length n + 1; offsets.(n) = Array.length adj *)
+  adj : int array; (* flat neighbor array, each row strictly ascending *)
 }
 
 let order g = g.n
@@ -11,47 +16,237 @@ let check_node g v =
 
 let empty n =
   if n < 0 then invalid_arg "Graph.empty: negative order";
-  { n; adj = Array.make (max n 1) [] |> fun a -> Array.sub a 0 n }
+  { n; offsets = Array.make (n + 1) 0; adj = [||] }
 
-let neighbors g v =
-  check_node g v;
-  g.adj.(v)
+(* Build the CSR from [m] validated arcs [(src.(i), dst.(i))] (each
+   undirected edge listed once, endpoints in range, no self-loops).
+   Counting sort plus a transpose keeps the whole construction O(n + m):
+   pass 1 counts degrees, pass 2 fills rows in arbitrary order, pass 3
+   re-transposes — reading sources in ascending order writes every
+   target row in ascending order — and pass 4 drops the (now adjacent)
+   duplicates in place. *)
+let of_arcs n src dst m =
+  let count = Array.make (n + 1) 0 in
+  for i = 0 to m - 1 do
+    count.(src.(i)) <- count.(src.(i)) + 1;
+    count.(dst.(i)) <- count.(dst.(i)) + 1
+  done;
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + count.(v)
+  done;
+  let total = off.(n) in
+  let cursor = Array.sub off 0 (n + 1) in
+  let rough = Array.make (max total 1) 0 in
+  for i = 0 to m - 1 do
+    let u = src.(i) and v = dst.(i) in
+    rough.(cursor.(u)) <- v;
+    cursor.(u) <- cursor.(u) + 1;
+    rough.(cursor.(v)) <- u;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  let sorted = Array.make (max total 1) 0 in
+  Array.blit off 0 cursor 0 (n + 1);
+  for v = 0 to n - 1 do
+    for i = off.(v) to off.(v + 1) - 1 do
+      let w = rough.(i) in
+      sorted.(cursor.(w)) <- v;
+      cursor.(w) <- cursor.(w) + 1
+    done
+  done;
+  (* compact duplicate entries (parallel input edges) in place *)
+  let offsets = Array.make (n + 1) 0 in
+  let out = ref 0 in
+  for v = 0 to n - 1 do
+    offsets.(v) <- !out;
+    let prev = ref (-1) in
+    for i = off.(v) to off.(v + 1) - 1 do
+      let w = sorted.(i) in
+      if w <> !prev then begin
+        sorted.(!out) <- w;
+        incr out;
+        prev := w
+      end
+    done
+  done;
+  offsets.(n) <- !out;
+  let adj =
+    if !out = Array.length sorted then sorted else Array.sub sorted 0 !out
+  in
+  { n; offsets; adj }
 
-let degree g v = List.length (neighbors g v)
-
-let mem_edge g u v =
-  check_node g u;
-  check_node g v;
-  List.mem v g.adj.(u)
-
-let sort_uniq_int = List.sort_uniq Stdlib.compare
+let validate_edge ~who n u v =
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "%s: edge (%d,%d) out of range [0,%d)" who u v n);
+  if u = v then invalid_arg (Printf.sprintf "%s: self-loop at %d" who u)
 
 let of_edges n edge_list =
   if n < 0 then invalid_arg "Graph.of_edges: negative order";
-  let adj = Array.make (max n 1) [] in
-  let add u v =
-    if u < 0 || u >= n || v < 0 || v >= n then
-      invalid_arg
-        (Printf.sprintf "Graph.of_edges: edge (%d,%d) out of range [0,%d)" u v n);
-    if u = v then
-      invalid_arg (Printf.sprintf "Graph.of_edges: self-loop at %d" u);
-    adj.(u) <- v :: adj.(u);
-    adj.(v) <- u :: adj.(v)
-  in
-  List.iter (fun (u, v) -> add u v) edge_list;
-  for v = 0 to n - 1 do
-    adj.(v) <- sort_uniq_int adj.(v)
+  let m = List.length edge_list in
+  let src = Array.make (max m 1) 0 and dst = Array.make (max m 1) 0 in
+  List.iteri
+    (fun i (u, v) ->
+      validate_edge ~who:"Graph.of_edges" n u v;
+      src.(i) <- u;
+      dst.(i) <- v)
+    edge_list;
+  of_arcs n src dst m
+
+(* Growable arc buffer for O(n + m) construction without intermediate
+   tuple lists; the random-graph generators feed this. *)
+module Builder = struct
+  type t = {
+    bn : int;
+    mutable src : int array;
+    mutable dst : int array;
+    mutable len : int;
+  }
+
+  let create ?(size_hint = 16) n =
+    if n < 0 then invalid_arg "Graph.Builder.create: negative order";
+    let cap = max size_hint 1 in
+    { bn = n; src = Array.make cap 0; dst = Array.make cap 0; len = 0 }
+
+  let add_edge b u v =
+    validate_edge ~who:"Graph.Builder.add_edge" b.bn u v;
+    if b.len = Array.length b.src then begin
+      let cap = 2 * b.len in
+      let src = Array.make cap 0 and dst = Array.make cap 0 in
+      Array.blit b.src 0 src 0 b.len;
+      Array.blit b.dst 0 dst 0 b.len;
+      b.src <- src;
+      b.dst <- dst
+    end;
+    b.src.(b.len) <- u;
+    b.dst.(b.len) <- v;
+    b.len <- b.len + 1
+
+  let edge_count b = b.len
+  let graph b = of_arcs b.bn b.src b.dst b.len
+end
+
+(* ---- allocation-free observation -------------------------------- *)
+
+let degree g v =
+  check_node g v;
+  g.offsets.(v + 1) - g.offsets.(v)
+
+let iter_neighbors f g v =
+  check_node g v;
+  for i = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+    f g.adj.(i)
+  done
+
+let iteri_neighbors f g v =
+  check_node g v;
+  let lo = g.offsets.(v) in
+  for i = lo to g.offsets.(v + 1) - 1 do
+    f (i - lo) g.adj.(i)
+  done
+
+let fold_neighbors f g v init =
+  check_node g v;
+  let acc = ref init in
+  for i = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+    acc := f g.adj.(i) !acc
   done;
-  { n; adj = Array.sub adj 0 n }
+  !acc
+
+let exists_neighbor p g v =
+  check_node g v;
+  let hi = g.offsets.(v + 1) in
+  let rec go i = i < hi && (p g.adj.(i) || go (i + 1)) in
+  go g.offsets.(v)
+
+let for_all_neighbors p g v = not (exists_neighbor (fun w -> not (p w)) g v)
+
+let find_neighbor p g v =
+  check_node g v;
+  let hi = g.offsets.(v + 1) in
+  let rec go i =
+    if i >= hi then None
+    else if p g.adj.(i) then Some g.adj.(i)
+    else go (i + 1)
+  in
+  go g.offsets.(v)
+
+let nth_neighbor g v i =
+  check_node g v;
+  let lo = g.offsets.(v) in
+  if i < 0 || lo + i >= g.offsets.(v + 1) then
+    invalid_arg
+      (Printf.sprintf "Graph.nth_neighbor: index %d out of range [0,%d)" i
+         (g.offsets.(v + 1) - lo));
+  g.adj.(lo + i)
+
+(* Binary search within the sorted row: O(log deg). *)
+let neighbor_rank g v w =
+  check_node g v;
+  check_node g w;
+  let lo = ref g.offsets.(v) and hi = ref (g.offsets.(v + 1) - 1) in
+  let found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = g.adj.(mid) in
+    if x = w then begin
+      found := mid - g.offsets.(v);
+      lo := !hi + 1
+    end
+    else if x < w then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !found < 0 then None else Some !found
+
+let mem_edge g u v = neighbor_rank g u v <> None
+
+let neighbors g v =
+  check_node g v;
+  let lo = g.offsets.(v) in
+  List.init (g.offsets.(v + 1) - lo) (fun i -> g.adj.(lo + i))
+
+let neighbors_array g v =
+  check_node g v;
+  let lo = g.offsets.(v) in
+  Array.sub g.adj lo (g.offsets.(v + 1) - lo)
+
+let size g = g.offsets.(g.n) / 2
 
 let edges g =
   let acc = ref [] in
   for u = g.n - 1 downto 0 do
-    List.iter (fun v -> if u < v then acc := (u, v) :: !acc) g.adj.(u)
+    for i = g.offsets.(u + 1) - 1 downto g.offsets.(u) do
+      let v = g.adj.(i) in
+      if u < v then acc := (u, v) :: !acc
+    done
   done;
-  List.sort Stdlib.compare !acc
+  !acc
 
-let size g = List.length (edges g)
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    for i = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+      let v = g.adj.(i) in
+      if u < v then f u v
+    done
+  done
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun u v -> acc := f u v !acc) g;
+  !acc
+
+(* Rebuild from the arc arrays of [g] plus edits; add/remove are
+   copy-on-write conveniences for small graphs, not hot paths. *)
+let arcs_of g =
+  let m = size g in
+  let src = Array.make (max m 1) 0 and dst = Array.make (max m 1) 0 in
+  let i = ref 0 in
+  iter_edges
+    (fun u v ->
+      src.(!i) <- u;
+      dst.(!i) <- v;
+      incr i)
+    g;
+  (src, dst, m)
 
 let add_edge g u v =
   check_node g u;
@@ -59,10 +254,13 @@ let add_edge g u v =
   if u = v then invalid_arg "Graph.add_edge: self-loop";
   if mem_edge g u v then g
   else begin
-    let adj = Array.copy g.adj in
-    adj.(u) <- sort_uniq_int (v :: adj.(u));
-    adj.(v) <- sort_uniq_int (u :: adj.(v));
-    { g with adj }
+    let src, dst, m = arcs_of g in
+    let src' = Array.make (m + 1) 0 and dst' = Array.make (m + 1) 0 in
+    Array.blit src 0 src' 0 m;
+    Array.blit dst 0 dst' 0 m;
+    src'.(m) <- u;
+    dst'.(m) <- v;
+    of_arcs g.n src' dst' (m + 1)
   end
 
 let remove_edge g u v =
@@ -70,34 +268,53 @@ let remove_edge g u v =
   check_node g v;
   if not (mem_edge g u v) then g
   else begin
-    let adj = Array.copy g.adj in
-    adj.(u) <- List.filter (fun w -> w <> v) adj.(u);
-    adj.(v) <- List.filter (fun w -> w <> u) adj.(v);
-    { g with adj }
+    let src, dst, m = arcs_of g in
+    let j = ref 0 in
+    for i = 0 to m - 1 do
+      let a = src.(i) and b = dst.(i) in
+      if not ((a = u && b = v) || (a = v && b = u)) then begin
+        src.(!j) <- a;
+        dst.(!j) <- b;
+        incr j
+      end
+    done;
+    of_arcs g.n src dst !j
   end
 
 let disjoint_union g h =
-  let shift = g.n in
-  let e_g = edges g in
-  let e_h = List.map (fun (u, v) -> (u + shift, v + shift)) (edges h) in
-  of_edges (g.n + h.n) (e_g @ e_h)
+  (* rows of [g] then rows of [h] shifted by [order g]: direct CSR
+     concatenation, O(n + m) *)
+  let n = g.n + h.n in
+  let mg = g.offsets.(g.n) and mh = h.offsets.(h.n) in
+  let offsets = Array.make (n + 1) 0 in
+  Array.blit g.offsets 0 offsets 0 (g.n + 1);
+  for v = 0 to h.n do
+    offsets.(g.n + v) <- mg + h.offsets.(v)
+  done;
+  let adj = Array.make (max (mg + mh) 1) 0 in
+  Array.blit g.adj 0 adj 0 mg;
+  for i = 0 to mh - 1 do
+    adj.(mg + i) <- h.adj.(i) + g.n
+  done;
+  { n; offsets; adj = Array.sub adj 0 (mg + mh) }
 
 let induced g node_list =
   List.iter (check_node g) node_list;
   let keep = List.sort_uniq Stdlib.compare node_list in
   let old_of_new = Array.of_list keep in
   let m = Array.length old_of_new in
-  let new_of_old = Hashtbl.create m in
-  Array.iteri (fun i v -> Hashtbl.replace new_of_old v i) old_of_new;
-  let es =
-    List.filter_map
-      (fun (u, v) ->
-        match (Hashtbl.find_opt new_of_old u, Hashtbl.find_opt new_of_old v) with
-        | Some a, Some b -> Some (a, b)
-        | _ -> None)
-      (edges g)
-  in
-  (of_edges m es, old_of_new)
+  let new_of_old = Array.make g.n (-1) in
+  Array.iteri (fun i v -> new_of_old.(v) <- i) old_of_new;
+  let b = Builder.create ~size_hint:(m + 1) m in
+  Array.iteri
+    (fun a v ->
+      iter_neighbors
+        (fun w ->
+          if v < w && new_of_old.(w) >= 0 then
+            Builder.add_edge b a new_of_old.(w))
+        g v)
+    old_of_new;
+  (Builder.graph b, old_of_new)
 
 let relabel g perm =
   if Array.length perm <> g.n then invalid_arg "Graph.relabel: bad permutation";
@@ -108,7 +325,12 @@ let relabel g perm =
         invalid_arg "Graph.relabel: not a permutation";
       seen.(v) <- true)
     perm;
-  of_edges g.n (List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges g))
+  let src, dst, m = arcs_of g in
+  for i = 0 to m - 1 do
+    src.(i) <- perm.(src.(i));
+    dst.(i) <- perm.(dst.(i))
+  done;
+  of_arcs g.n src dst m
 
 let nodes g = List.init g.n (fun i -> i)
 
@@ -118,11 +340,6 @@ let fold_nodes f g init =
     acc := f v !acc
   done;
   !acc
-
-let fold_edges f g init =
-  List.fold_left (fun acc (u, v) -> f u v acc) init (edges g)
-
-let iter_edges f g = List.iter (fun (u, v) -> f u v) (edges g)
 
 let min_degree g =
   if g.n = 0 then 0 else fold_nodes (fun v m -> min m (degree g v)) g max_int
@@ -149,13 +366,13 @@ let component_of g start =
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
     acc := v :: !acc;
-    List.iter
+    iter_neighbors
       (fun w ->
         if not seen.(w) then begin
           seen.(w) <- true;
           Queue.add w queue
         end)
-      g.adj.(v)
+      g v
   done;
   List.sort Stdlib.compare !acc
 
@@ -171,10 +388,31 @@ let components g =
   done;
   List.rev !comps
 
-let is_connected g = g.n <= 1 || List.length (components g) = 1
+let is_connected g =
+  g.n <= 1
+  ||
+  (* single BFS; avoids materializing every component *)
+  let seen = Array.make g.n false in
+  let queue = Queue.create () in
+  seen.(0) <- true;
+  Queue.add 0 queue;
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    iter_neighbors
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          incr count;
+          Queue.add w queue
+        end)
+      g v
+  done;
+  !count = g.n
 
 let is_cycle g =
-  g.n >= 3 && is_connected g && fold_nodes (fun v ok -> ok && degree g v = 2) g true
+  g.n >= 3 && is_connected g
+  && fold_nodes (fun v ok -> ok && degree g v = 2) g true
 
 let is_path_graph g =
   g.n >= 1 && is_connected g && size g = g.n - 1
@@ -182,11 +420,19 @@ let is_path_graph g =
 
 let is_tree g = is_connected g && size g = g.n - 1
 
-let equal g h = g.n = h.n && edges g = edges h
+(* The CSR form is canonical (rows sorted, deduplicated), so structural
+   equality is plain array equality. *)
+let equal g h = g.n = h.n && g.offsets = h.offsets && g.adj = h.adj
 
+(* Preserves the historical order: by node count, then by the [(u, v)],
+   [u < v], lexicographically sorted edge list — which is exactly the
+   CSR iteration order — with a shorter list comparing below any
+   extension of it. *)
 let compare g h =
   match Stdlib.compare g.n h.n with
-  | 0 -> Stdlib.compare (edges g) (edges h)
+  | 0 ->
+      let eg = edges g and eh = edges h in
+      Stdlib.compare eg eh
   | c -> c
 
 (* Brute-force isomorphism: backtracking on degree-compatible mappings.
@@ -247,6 +493,8 @@ let to_dot ?(name = "G") ?label g =
     let lbl = match label with None -> string_of_int v | Some f -> f v in
     Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"];\n" v lbl)
   done;
-  iter_edges (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v)) g;
+  iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    g;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

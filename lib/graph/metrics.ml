@@ -6,13 +6,13 @@ let bfs_dist g start =
   Queue.add start queue;
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
-    List.iter
+    Graph.iter_neighbors
       (fun w ->
         if dist.(w) = max_int then begin
           dist.(w) <- dist.(v) + 1;
           Queue.add w queue
         end)
-      (Graph.neighbors g v)
+      g v
   done;
   dist
 
@@ -54,7 +54,7 @@ let girth g =
       let v = Queue.pop queue in
       if 2 * dist.(v) >= !best then continue := false
       else
-        List.iter
+        Graph.iter_neighbors
           (fun w ->
             if dist.(w) = max_int then begin
               dist.(w) <- dist.(v) + 1;
@@ -63,7 +63,7 @@ let girth g =
             end
             else if parent.(v) <> w && parent.(w) <> v then
               best := min !best (dist.(v) + dist.(w) + 1))
-          (Graph.neighbors g v)
+          g v
     done
   done;
   if !best = max_int then None else Some !best
@@ -80,14 +80,14 @@ let shortest_path_avoiding g ~avoid src dst =
     let v = Queue.pop queue in
     if v = dst then found := true
     else
-      List.iter
+      Graph.iter_neighbors
         (fun w ->
           if (not seen.(w)) && ((not (avoid w)) || w = dst) then begin
             seen.(w) <- true;
             prev.(w) <- v;
             Queue.add w queue
           end)
-        (Graph.neighbors g v)
+        g v
   done;
   if not !found then None
   else begin

@@ -49,13 +49,13 @@ let non_backtracking_closed_walk g ~start ~len =
         end
       end
       else
-        List.iter
+        Graph.iter_neighbors
           (fun w ->
             if w <> prev then
               let first_step = match first_step with None -> Some w | s -> s in
               go w v (steps + 1) (if steps + 1 = len then acc else w :: acc)
                 first_step)
-          (Graph.neighbors g v)
+          g v
     in
     try
       go start (-1) 0 [ start ] None;

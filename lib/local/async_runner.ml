@@ -35,9 +35,9 @@ let run_to_quiescence ?(scheduler = `Fifo) (inst : Instance.t) =
   let max_queue = ref 0 in
   let deliveries = ref 0 in
   let send v =
-    List.iter
+    Graph.iter_neighbors
       (fun w -> queue := !queue @ [ { payload = state.(v); from_ = v; to_ = w } ])
-      (Graph.neighbors g v)
+      g v
   in
   (* everyone announces itself once *)
   for v = 0 to n - 1 do

@@ -2,8 +2,9 @@ open Lcp_graph
 
 type t = int array array
 
-let canonical g =
-  Array.init (Graph.order g) (fun v -> Array.of_list (Graph.neighbors g v))
+(* CSR row order is ascending neighbor id, which is exactly the
+   canonical port numbering. *)
+let canonical g = Array.init (Graph.order g) (fun v -> Graph.neighbors_array g v)
 
 let shuffle rng arr =
   for i = Array.length arr - 1 downto 1 do
@@ -23,7 +24,10 @@ let is_valid g t =
   && Graph.fold_nodes
        (fun v ok ->
          ok
-         && List.sort Stdlib.compare (Array.to_list t.(v)) = Graph.neighbors g v)
+         &&
+         let sorted = Array.copy t.(v) in
+         Array.sort Stdlib.compare sorted;
+         sorted = Graph.neighbors_array g v)
        g true
 
 let port_of t v w =
@@ -52,7 +56,9 @@ let rec permutations = function
 let enumerate g =
   let per_node =
     List.map
-      (fun v -> List.map Array.of_list (permutations (Graph.neighbors g v)))
+      (fun v ->
+        List.map Array.of_list
+          (permutations (Array.to_list (Graph.neighbors_array g v))))
       (Graph.nodes g)
   in
   let rec product = function

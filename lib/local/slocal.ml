@@ -34,7 +34,9 @@ let greedy_coloring ~radius =
   make ~name:"greedy" ~radius (fun view prev ->
       let g = view.View.graph in
       let used =
-        List.filter_map (fun w -> prev.(w)) (Lcp_graph.Graph.neighbors g 0)
+        Lcp_graph.Graph.fold_neighbors
+          (fun w acc -> match prev.(w) with Some c -> c :: acc | None -> acc)
+          g 0 []
       in
       let rec first c = if List.mem c used then first (c + 1) else c in
       first 0)
@@ -43,7 +45,9 @@ let first_fit_k ~radius ~k =
   make ~name:"first-fit-k" ~radius (fun view prev ->
       let g = view.View.graph in
       let used =
-        List.filter_map (fun w -> prev.(w)) (Lcp_graph.Graph.neighbors g 0)
+        Lcp_graph.Graph.fold_neighbors
+          (fun w acc -> match prev.(w) with Some c -> c :: acc | None -> acc)
+          g 0 []
       in
       let rec first c = if c >= k then -1 else if List.mem c used then first (c + 1) else c in
       first 0)

@@ -35,8 +35,8 @@ let run (inst : Instance.t) ~rounds =
     let prev = !state in
     let next =
       Array.init n (fun v ->
-          List.fold_left
-            (fun acc w ->
+          Graph.fold_neighbors
+            (fun w acc ->
               (* receiving prev.(w) over edge {v,w}; the header carries
                  w's id and its port, so v can record the edge fact *)
               let fact =
@@ -48,7 +48,7 @@ let run (inst : Instance.t) ~rounds =
                 }
               in
               merge acc (merge prev.(w) { node_facts = []; edge_facts = [ fact ] }))
-            prev.(v) (Graph.neighbors g v))
+            g v prev.(v))
     in
     state := next
   done;

@@ -74,8 +74,8 @@ let build ~radius ~id_bound ~ball ~gdist ~gid ~glabel ~gport ~edges =
   let ports =
     Array.init m (fun u ->
         let gu = old_of_new.(u) in
-        Array.of_list
-          (List.map (fun w -> gport gu old_of_new.(w)) (Graph.neighbors graph u)))
+        Array.init (Graph.degree graph u) (fun i ->
+            gport gu old_of_new.(Graph.nth_neighbor graph u i)))
   in
   assert (dist.(0) = 0);
   { radius; graph; dist; ids; id_bound; labels; ports }
@@ -93,29 +93,29 @@ let extract (inst : Instance.t) ~r v =
     let x = Queue.pop queue in
     let dx = Hashtbl.find dist_tbl x in
     if dx < r then
-      List.iter
+      Graph.iter_neighbors
         (fun y ->
           if not (Hashtbl.mem dist_tbl y) then begin
             Hashtbl.replace dist_tbl y (dx + 1);
             ball := y :: !ball;
             Queue.add y queue
           end)
-        (Graph.neighbors g x)
+        g x
   done;
   let dist w = Hashtbl.find dist_tbl w in
   (* visible edges: min endpoint distance <= r - 1; interior-interior
      edges deduplicated by orientation, interior-fringe added once *)
   let edges =
-    List.concat_map
-      (fun a ->
-        if dist a > r - 1 then []
+    List.fold_left
+      (fun acc a ->
+        if dist a > r - 1 then acc
         else
-          List.filter_map
-            (fun b ->
+          Graph.fold_neighbors
+            (fun b acc ->
               let db = dist b in
-              if (db <= r - 1 && a < b) || db = r then Some (a, b) else None)
-            (Graph.neighbors g a))
-      !ball
+              if (db <= r - 1 && a < b) || db = r then (a, b) :: acc else acc)
+            g a acc)
+      [] !ball
   in
   build ~radius:r ~id_bound:inst.Instance.ids.Ident.bound ~ball:!ball
     ~gdist:dist
@@ -162,12 +162,9 @@ let distance t u =
 
 let port_of t a b =
   note_port t a;
-  let rec find i = function
-    | [] -> raise Not_found
-    | w :: _ when w = b -> t.ports.(a).(i)
-    | _ :: rest -> find (i + 1) rest
-  in
-  find 0 (Graph.neighbors t.graph a)
+  match Graph.neighbor_rank t.graph a b with
+  | Some i -> t.ports.(a).(i)
+  | None -> raise Not_found
 
 let full_degree_known t u =
   note_structure t u;
@@ -186,17 +183,17 @@ let find_by_id t i =
 
 let center_neighbors t =
   let triples =
-    List.map
-      (fun w -> (w, port_of t 0 w, port_of t w 0))
-      (Graph.neighbors t.graph 0)
+    Graph.fold_neighbors
+      (fun w acc -> (w, port_of t 0 w, port_of t w 0) :: acc)
+      t.graph 0 []
   in
   List.sort (fun (_, p, _) (_, q, _) -> Stdlib.compare p q) triples
 
 let subview1 t w =
   if not (full_degree_known t w) then
     invalid_arg "View.subview1: node is on the fringe; its 1-view is unknown";
-  let ball = w :: Graph.neighbors t.graph w in
-  let edges = List.map (fun x -> (w, x)) (Graph.neighbors t.graph w) in
+  let ball = Graph.fold_neighbors (fun x acc -> x :: acc) t.graph w [ w ] in
+  let edges = Graph.fold_neighbors (fun x acc -> (w, x) :: acc) t.graph w [] in
   build ~radius:1 ~id_bound:t.id_bound ~ball
     ~gdist:(fun x -> if x = w then 0 else 1)
     ~gid:(fun x -> t.ids.(x))
@@ -271,15 +268,13 @@ let serialize t ~relabel ~id_repr =
     Buffer.add_string buf
       (Printf.sprintf "n%d:d=%d;id=%s;l=%s;e=" canon t.dist.(u) (id_repr u)
          (String.escaped t.labels.(u)));
-    let adj =
-      List.mapi
-        (fun i w -> (t.ports.(u).(i), port_of t w u, relabel.(w)))
-        (Graph.neighbors t.graph u)
-      |> List.sort Stdlib.compare
-    in
+    let adj = ref [] in
+    Graph.iteri_neighbors
+      (fun i w -> adj := (t.ports.(u).(i), port_of t w u, relabel.(w)) :: !adj)
+      t.graph u;
     List.iter
       (fun (p, q, w) -> Buffer.add_string buf (Printf.sprintf "(%d,%d,%d)" p q w))
-      adj;
+      (List.sort Stdlib.compare !adj);
     Buffer.add_char buf '|'
   done;
   Buffer.contents buf
@@ -318,11 +313,13 @@ let key_anonymous t =
   Queue.add 0 queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    let adj =
-      List.mapi (fun i w -> (t.ports.(u).(i), w)) (Graph.neighbors t.graph u)
-      |> List.sort Stdlib.compare
-    in
-    List.iter (fun (_, w) -> if assign w then Queue.add w queue) adj
+    let adj = ref [] in
+    Graph.iteri_neighbors
+      (fun i w -> adj := (t.ports.(u).(i), w) :: !adj)
+      t.graph u;
+    List.iter
+      (fun (_, w) -> if assign w then Queue.add w queue)
+      (List.sort Stdlib.compare !adj)
   done;
   assert (!next = m);
   serialize t ~relabel ~id_repr:(fun _ -> "_")

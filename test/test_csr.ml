@@ -1,0 +1,276 @@
+(* The CSR substrate contract: flat-array traversal agrees with the
+   derived list API, port order (= CSR row order = ascending neighbor
+   id) survives every graph-producing operation, construction is
+   O(n + m) with the seed's validation intact, the seeded random-graph
+   generators are deterministic, and the sampled phases tally
+   identically for jobs = 1 and jobs = N. *)
+
+open Lcp_graph
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* CSR / list agreement                                                 *)
+
+let agreement_graphs () =
+  [
+    Graph.empty 0;
+    Graph.empty 3;
+    p4 ();
+    c6 ();
+    k4 ();
+    Builders.petersen ();
+    Builders.star 5;
+    Builders.random_gnp (rng ()) 12 0.4;
+  ]
+
+let test_traversal_agreement () =
+  List.iter
+    (fun g ->
+      for v = 0 to Graph.order g - 1 do
+        let as_list = Graph.neighbors g v in
+        let by_fold =
+          List.rev (Graph.fold_neighbors (fun w acc -> w :: acc) g v [])
+        in
+        let by_iter =
+          let r = ref [] in
+          Graph.iter_neighbors (fun w -> r := w :: !r) g v;
+          List.rev !r
+        in
+        let by_array = Array.to_list (Graph.neighbors_array g v) in
+        let by_nth =
+          List.init (Graph.degree g v) (Graph.nth_neighbor g v)
+        in
+        Alcotest.(check int_list) "fold = list" as_list by_fold;
+        Alcotest.(check int_list) "iter = list" as_list by_iter;
+        Alcotest.(check int_list) "array = list" as_list by_array;
+        Alcotest.(check int_list) "nth = list" as_list by_nth;
+        check_int "degree = length" (List.length as_list) (Graph.degree g v)
+      done)
+    (agreement_graphs ())
+
+let test_rows_ascending () =
+  List.iter
+    (fun g ->
+      for v = 0 to Graph.order g - 1 do
+        let row = Graph.neighbors_array g v in
+        Array.iteri
+          (fun i w ->
+            if i > 0 then
+              check_bool "strictly ascending" true (row.(i - 1) < w);
+            check_bool "no self-loop" true (w <> v))
+          row
+      done)
+    (agreement_graphs ())
+
+let test_rank_and_predicates () =
+  let g = Builders.petersen () in
+  for v = 0 to Graph.order g - 1 do
+    List.iteri
+      (fun i w ->
+        Alcotest.(check (option int))
+          "rank inverts nth" (Some i)
+          (Graph.neighbor_rank g v w);
+        check_bool "mem_edge" true (Graph.mem_edge g v w);
+        check_bool "exists" true (Graph.exists_neighbor (Int.equal w) g v))
+      (Graph.neighbors g v);
+    Alcotest.(check (option int)) "rank of non-neighbor" None
+      (Graph.neighbor_rank g v v)
+  done;
+  check_bool "for_all" true
+    (Graph.for_all_neighbors (fun w -> w <> 0) g 7);
+  Alcotest.(check (option int)) "find" (Some 6) (Graph.find_neighbor (fun w -> w > 5) g 1)
+
+(* ------------------------------------------------------------------ *)
+(* port order survives graph-producing operations                       *)
+
+let ports g = Array.init (Graph.order g) (Graph.neighbors_array g)
+
+let test_port_order_relabel () =
+  let g = Builders.random_gnp (rng ()) 10 0.4 in
+  let perm = [| 3; 1; 4; 0; 9; 2; 6; 8; 7; 5 |] in
+  let h = Graph.relabel g perm in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun i w -> if i > 0 then check_bool "ascending" true (row.(i - 1) < w))
+        row)
+    (ports h);
+  (* the edge relation is the permuted one *)
+  Graph.iter_edges
+    (fun u v -> check_bool "edge mapped" true (Graph.mem_edge h perm.(u) perm.(v)))
+    g
+
+let test_port_order_induced () =
+  let g = Builders.petersen () in
+  let h, _ = Graph.induced g [ 9; 0; 3; 2; 7; 4 ] in
+  check_int "order" 6 (Graph.order h);
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun i w -> if i > 0 then check_bool "ascending" true (row.(i - 1) < w))
+        row)
+    (ports h)
+
+let test_port_order_disjoint_union () =
+  let g = Graph.disjoint_union (c5 ()) (Builders.star 3) in
+  check_int "order" 9 (Graph.order g);
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun i w -> if i > 0 then check_bool "ascending" true (row.(i - 1) < w))
+        row)
+    (ports g);
+  (* right block is the star, shifted by 5 *)
+  Alcotest.(check int_list) "star center row" [ 6; 7; 8 ] (Graph.neighbors g 5)
+
+(* ------------------------------------------------------------------ *)
+(* construction: validation, dedup, O(n + m) scale                      *)
+
+let test_of_edges_validation () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Graph.of_edges: edge (0,5) out of range [0,2)")
+    (fun () -> ignore (Graph.of_edges 2 [ (0, 1); (0, 5) ]));
+  Alcotest.check_raises "self-loop"
+    (Invalid_argument "Graph.of_edges: self-loop at 1") (fun () ->
+      ignore (Graph.of_edges 3 [ (1, 1) ]));
+  let g = Graph.of_edges 3 [ (2, 1); (1, 2); (0, 2); (2, 0); (2, 1) ] in
+  check_int "duplicates collapsed" 2 (Graph.size g)
+
+let test_builder () =
+  let b = Graph.Builder.create ~size_hint:1 4 in
+  check_int "empty" 0 (Graph.Builder.edge_count b);
+  Graph.Builder.add_edge b 3 0;
+  Graph.Builder.add_edge b 1 3;
+  Graph.Builder.add_edge b 0 3;
+  (* duplicate, either orientation *)
+  check_int "arc count" 3 (Graph.Builder.edge_count b);
+  let g = Graph.Builder.graph b in
+  check_graph "same as of_edges" (Graph.of_edges 4 [ (0, 3); (1, 3) ]) g;
+  Alcotest.check_raises "builder validates"
+    (Invalid_argument "Graph.Builder.add_edge: self-loop at 2") (fun () ->
+      Graph.Builder.add_edge b 2 2)
+
+let test_big_build () =
+  (* a 60k-node, ~120k-edge build must be effectively instant; the
+     pre-CSR sort-per-node construction would be visibly slow here *)
+  let n = 60_000 in
+  let b = Graph.Builder.create ~size_hint:(2 * n) n in
+  for v = 1 to n - 1 do
+    Graph.Builder.add_edge b (v - 1) v;
+    Graph.Builder.add_edge b (v / 2) v
+  done;
+  let g = Graph.Builder.graph b in
+  check_int "order" n (Graph.order g);
+  check_bool "path edge" true (Graph.mem_edge g 0 1);
+  check_bool "connected" true (Graph.is_connected g);
+  check_int "edges dedup"
+    (Graph.size g)
+    (List.length (Graph.edges g))
+
+(* ------------------------------------------------------------------ *)
+(* seeded generators                                                    *)
+
+let test_random_graphs_deterministic () =
+  List.iter
+    (fun model ->
+      let mk seed =
+        match
+          Random_graphs.of_model (Random.State.make [| seed |]) ~nodes:3_000
+            model
+        with
+        | Ok g -> g
+        | Error msg -> Alcotest.fail msg
+      in
+      check_graph (model ^ " same seed") (mk 7) (mk 7);
+      check_bool
+        (model ^ " different seed")
+        (model = "grid")
+        (Graph.equal (mk 7) (mk 8)))
+    [ "gnp"; "gnp:2.5"; "ba"; "ba:2"; "tree"; "grid" ]
+
+let test_model_errors () =
+  List.iter
+    (fun spec ->
+      match
+        Random_graphs.of_model (Random.State.make [| 1 |]) ~nodes:10 spec
+      with
+      | Ok _ -> Alcotest.fail ("accepted bad spec " ^ spec)
+      | Error _ -> ())
+    [ "wat"; "gnp:zz"; "ba:0"; "gnp:-1" ]
+
+let test_double_cover () =
+  let g = Builders.petersen () in
+  let dc = Builders.double_cover g in
+  check_int "order doubles" 20 (Graph.order dc);
+  check_int "size doubles" (2 * Graph.size g) (Graph.size dc);
+  check_bool "bipartite" true (Coloring.is_bipartite dc);
+  check_bool "connected (g non-bipartite)" true (Graph.is_connected dc);
+  (* the double cover of a bipartite graph is disconnected *)
+  check_bool "bipartite input splits" false
+    (Graph.is_connected (Builders.double_cover (c6 ())))
+
+(* ------------------------------------------------------------------ *)
+(* sampled phases: jobs-invariance                                      *)
+
+let strip_report r =
+  let open Lcp.Sampling in
+  {
+    r with
+    build_wall_ns = 0;
+    completeness = Option.map (fun c -> { c with c_wall_ns = 0 }) r.completeness;
+    soundness = Option.map (fun s -> { s with s_wall_ns = 0 }) r.soundness;
+    hiding = Option.map (fun h -> { h with h_wall_ns = 0 }) r.hiding;
+  }
+
+let test_sampling_jobs_invariant () =
+  let g =
+    Random_graphs.gnp_avg_degree (Random.State.make [| 13 |]) 400
+      ~avg_degree:4.
+  in
+  let run jobs =
+    let cfg = Lcp_obs.Run_cfg.make ~jobs ~seed:13 () in
+    strip_report
+      (Lcp.Sampling.run ~eval_nodes:150 ~trials:4 ~pairs:60 ~cfg
+         ~decoder:"trivial2" ~model:"gnp" (Lcp.D_trivial.suite ~k:2) g)
+  in
+  let r1 = run 1 and r4 = run 4 in
+  check_bool "jobs=1 = jobs=4" true (r1 = r4);
+  (* and the phases actually ran *)
+  check_bool "completeness ran" true (r1.Lcp.Sampling.completeness <> None);
+  (match r1.Lcp.Sampling.completeness with
+  | Some c ->
+      check_int "all sampled nodes accept" c.Lcp.Sampling.evaluated
+        c.Lcp.Sampling.accepted
+  | None -> ());
+  check_int "no violations" 0 r1.Lcp.Sampling.violations
+
+let test_sampling_deterministic () =
+  let g =
+    Random_graphs.gnp_avg_degree (Random.State.make [| 21 |]) 300
+      ~avg_degree:3.
+  in
+  let run () =
+    let cfg = Lcp_obs.Run_cfg.make ~jobs:2 ~seed:21 () in
+    strip_report
+      (Lcp.Sampling.run ~eval_nodes:100 ~trials:3 ~pairs:40 ~cfg
+         ~decoder:"trivial2" ~model:"gnp" (Lcp.D_trivial.suite ~k:2) g)
+  in
+  check_bool "same seed, same report" true (run () = run ())
+
+let suite =
+  [
+    case "traversal agreement" test_traversal_agreement;
+    case "rows ascending" test_rows_ascending;
+    case "rank and predicates" test_rank_and_predicates;
+    case "port order: relabel" test_port_order_relabel;
+    case "port order: induced" test_port_order_induced;
+    case "port order: disjoint union" test_port_order_disjoint_union;
+    case "of_edges validation" test_of_edges_validation;
+    case "builder" test_builder;
+    case "big build" test_big_build;
+    case "random graphs deterministic" test_random_graphs_deterministic;
+    case "model errors" test_model_errors;
+    case "double cover" test_double_cover;
+    case "sampling jobs invariant" test_sampling_jobs_invariant;
+    case "sampling deterministic" test_sampling_deterministic;
+  ]
