@@ -892,6 +892,70 @@ let write_large_json path doc =
       output_string oc "\n");
   Printf.printf "large series written to %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* The PR-8 race series: what the instrumented sync layer costs. The
+   disarmed column is the price every ordinary run pays for the
+   tracing hooks (one relaxed Atomic.get branch per operation — the
+   zero-cost-when-off claim, measured); the armed column is the price
+   [lcp race] pays while recording (period 0: tracing without
+   perturbation pauses). Returns rows for BENCH_race.json.             *)
+
+let series_race ~fast () =
+  Printf.printf "\n== series: sync instrumentation overhead (armed vs disarmed)\n";
+  Printf.printf "%12s %10s %14s %14s %8s\n" "op" "iters" "disarmed_ns" "armed_ns"
+    "ratio";
+  let iters = if fast then 200_000 else 1_000_000 in
+  let module Sync = Lcp_obs.Sync in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let measure name op =
+    let disarmed = time (fun () -> for _ = 1 to iters do op () done) in
+    Sync.arm ~perturb:{ Sync.pseed = 0; period = 0 } ();
+    let armed = time (fun () -> for _ = 1 to iters do op () done) in
+    ignore (Sync.disarm ());
+    let per s = s /. float_of_int iters *. 1e9 in
+    let ratio = if disarmed > 0. then armed /. disarmed else 0. in
+    Printf.printf "%12s %10d %14.1f %14.1f %8.1f\n" name iters (per disarmed)
+      (per armed) ratio;
+    (name, iters, per disarmed, per armed, ratio)
+  in
+  let m = Sync.mutex "bench/race.lock" in
+  let a = Sync.A.make "bench/race.counter" 0 in
+  let v = Sync.Var.make "bench/race.var" 0 in
+  let r1 = measure "with_lock" (fun () -> Sync.with_lock m (fun () -> ())) in
+  let r2 = measure "atomic_incr" (fun () -> Sync.A.incr a) in
+  let r3 = measure "var_set" (fun () -> Sync.Var.set v 1) in
+  [ r1; r2; r3 ]
+
+let write_race_json path rows =
+  let row (name, iters, disarmed_ns, armed_ns, ratio) =
+    Json.Obj
+      [
+        ("op", Json.String name);
+        ("iters", Json.Int iters);
+        ("disarmed_ns_per_op", Json.Int (int_of_float disarmed_ns));
+        ("armed_ns_per_op", Json.Int (int_of_float armed_ns));
+        ("armed_over_disarmed_x100", Json.Int (int_of_float (ratio *. 100.)));
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int bench_schema_version);
+        ("race", Json.List (List.map row rows));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty doc);
+      output_string oc "\n");
+  Printf.printf "race series written to %s\n" path
+
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
   let large = Array.exists (fun a -> a = "--large") Sys.argv in
@@ -925,8 +989,12 @@ let () =
   let search_rows = series_search ~fast () in
   let sweep_rows = series_engine_sweep ~fast () in
   let serve_rows = series_serve ~fast () in
+  let race_rows = series_race ~fast () in
   series_sync ();
   write_sweep_json metrics_out sweep_rows;
+  write_race_json
+    (Filename.concat (Filename.dirname metrics_out) "BENCH_race.json")
+    race_rows;
   write_serve_json
     (Filename.concat (Filename.dirname metrics_out) "BENCH_serve.json")
     serve_rows;

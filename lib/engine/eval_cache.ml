@@ -192,7 +192,16 @@ let stats t = (t.hits, t.misses)
    Sharing is off by default — one-shot CLI runs behave exactly as
    before; the daemon opts in at startup. *)
 
-type slot = { mutable in_use : bool; cached : t }
+module Sync = Lcp_obs.Sync
+
+type slot = {
+  mutable in_use : bool;
+  cached : t;
+  guard : unit Sync.Var.t;
+      (* shadow var for the leased table's mutable internals: touched
+         by the holder at acquire/release (and by {!lease_touch}), so
+         a double-leased slot shows up as a data-race finding *)
+}
 
 type lease = {
   cache : t;
@@ -203,12 +212,14 @@ type lease = {
 }
 
 let pool : (string, slot) Hashtbl.t = Hashtbl.create 64
-let pool_lock = Mutex.create ()
+let pool_lock = Sync.mutex "engine/eval_cache.pool"
+let pool_guard = Sync.Var.make "engine/eval_cache.pool.table" ()
 let sharing = ref false
 
 let locked f =
-  Mutex.lock pool_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock pool_lock) f
+  Sync.with_lock pool_lock (fun () ->
+      Sync.Var.touch pool_guard;
+      f ())
 
 let sharing_enabled () = locked (fun () -> !sharing)
 
@@ -239,6 +250,10 @@ let acquire ~key ?dense_limit ~radius ~accepts ~alphabet inst =
   match existing with
   | `Disabled | `Busy -> private_lease (build ())
   | `Leased slot ->
+      (* we are the exclusive holder now: stats reads and the guard
+         touch happen outside the pool lock on purpose — the lease IS
+         the synchronization, and [lcp race] checks exactly that *)
+      Sync.Var.touch slot.guard;
       let hits, misses = stats slot.cached in
       {
         cache = slot.cached;
@@ -251,7 +266,13 @@ let acquire ~key ?dense_limit ~radius ~accepts ~alphabet inst =
       (* build outside the lock; on a race the loser keeps a private
          cache, which is merely a missed reuse, never a shared mutation *)
       let cache = build () in
-      let slot = { in_use = true; cached = cache } in
+      let slot =
+        {
+          in_use = true;
+          cached = cache;
+          guard = Sync.Var.make ("engine/eval_cache.slot/" ^ key) ();
+        }
+      in
       let claimed =
         locked (fun () ->
             if !sharing && not (Hashtbl.mem pool key) then begin
@@ -261,11 +282,20 @@ let acquire ~key ?dense_limit ~radius ~accepts ~alphabet inst =
             else false)
       in
       match claimed with
-      | true -> { cache; warm = false; base_hits = 0; base_misses = 0; slot = Some slot }
+      | true ->
+          Sync.Var.touch slot.guard;
+          { cache; warm = false; base_hits = 0; base_misses = 0; slot = Some slot }
       | false -> private_lease cache)
 
 let lease_cache l = l.cache
 let lease_warm l = l.warm
+
+(* Mark a use of the leased table while holding the lease. A no-op for
+   private leases and when disarmed; under [lcp race] two concurrent
+   holders of the same slot become a data-race finding — the
+   exclusivity contract, checked mechanically. *)
+let lease_touch l =
+  match l.slot with Some slot -> Sync.Var.touch slot.guard | None -> ()
 
 let lease_stats l =
   let hits, misses = stats l.cache in
@@ -274,4 +304,7 @@ let lease_stats l =
 let release l =
   match l.slot with
   | None -> ()
-  | Some slot -> locked (fun () -> slot.in_use <- false)
+  | Some slot ->
+      (* last exclusive access before the hand-off *)
+      Sync.Var.touch slot.guard;
+      locked (fun () -> slot.in_use <- false)

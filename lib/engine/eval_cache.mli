@@ -126,3 +126,11 @@ val lease_stats : lease -> int * int
 val release : lease -> unit
 (** Return a pooled cache to the pool (no-op on private leases). Call
     exactly once, after the last query through the lease. *)
+
+val lease_touch : lease -> unit
+(** Mark a use of the leased table under {!Lcp_obs.Sync} tracing: a
+    write to the slot's shadow var, so [lcp race] turns any two
+    concurrent holders of one pooled slot into a data-race finding.
+    No-op on private leases and when tracing is disarmed. Stress tests
+    and the [lease-pool] race scenario call this between {!acquire}
+    and {!release} to certify lease exclusivity. *)

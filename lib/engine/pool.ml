@@ -1,15 +1,22 @@
+module Sync = Lcp_obs.Sync
+
 let default_jobs () = Domain.recommended_domain_count ()
 
 (* Run [worker w] (which reports its exception instead of raising) on
    this domain (index 0) plus [extra] spawned domains (indices 1..);
-   join everything, then re-raise the first exception observed. *)
+   join everything, then re-raise the first exception observed. The
+   spawns go through the instrumented layer so [lcp race] sees the
+   fork/join happens-before edges. *)
 let with_domains ~extra worker =
-  let spawned = List.init extra (fun w -> Domain.spawn (fun () -> worker (w + 1))) in
+  let spawned =
+    List.init extra (fun w ->
+        Sync.spawn_domain "engine/pool/worker" (fun () -> worker (w + 1)))
+  in
   let main_exn = worker 0 in
   let first_exn =
     List.fold_left
       (fun acc d ->
-        let r = try Domain.join d with e -> Some e in
+        let r = try Sync.join_domain d with e -> Some e in
         match acc with None -> r | Some _ -> acc)
       main_exn spawned
   in
@@ -31,14 +38,14 @@ let run ?metrics ~jobs count f =
   end
   else begin
     let results = Array.make count None in
-    let next = Atomic.make 0 in
+    let next = Sync.A.make "engine/pool.next" 0 in
     let worker w =
       let exn = ref None in
       let pulled = ref 0 in
       (try
          let continue = ref true in
          while !continue do
-           let i = Atomic.fetch_and_add next 1 in
+           let i = Sync.A.fetch_and_add next 1 in
            if i >= count then continue := false
            else begin
              incr pulled;
@@ -74,22 +81,21 @@ let search ?metrics ~jobs count f =
     go 0
   end
   else begin
-    let next = Atomic.make 0 in
-    let best = Atomic.make max_int in
-    let lock = Mutex.create () in
-    let found = ref None in
+    let next = Sync.A.make "engine/pool.next" 0 in
+    let best = Sync.A.make "engine/pool.best" max_int in
+    let lock = Sync.mutex "engine/pool.search" in
+    let found = Sync.Var.make "engine/pool.found" None in
     let record i x =
       (* lower the cancellation bound first, then the witness *)
       let rec lower () =
-        let b = Atomic.get best in
-        if i < b && not (Atomic.compare_and_set best b i) then lower ()
+        let b = Sync.A.get best in
+        if i < b && not (Sync.A.compare_and_set best b i) then lower ()
       in
       lower ();
-      Mutex.lock lock;
-      (match !found with
-      | Some (j, _) when j <= i -> ()
-      | _ -> found := Some (i, x));
-      Mutex.unlock lock
+      Sync.with_lock lock (fun () ->
+          match Sync.Var.get found with
+          | Some (j, _) when j <= i -> ()
+          | _ -> Sync.Var.set found (Some (i, x)))
     in
     let worker w =
       let exn = ref None in
@@ -97,9 +103,9 @@ let search ?metrics ~jobs count f =
       (try
          let continue = ref true in
          while !continue do
-           let i = Atomic.fetch_and_add next 1 in
+           let i = Sync.A.fetch_and_add next 1 in
            if i >= count then continue := false
-           else if i < Atomic.get best then begin
+           else if i < Sync.A.get best then begin
              incr pulled;
              match f i with Some x -> record i x | None -> ()
            end
@@ -110,5 +116,5 @@ let search ?metrics ~jobs count f =
       !exn
     in
     with_domains ~extra:(min jobs count - 1) worker;
-    !found
+    Sync.Var.get found
   end

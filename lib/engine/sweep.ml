@@ -99,14 +99,27 @@ let enumerate_classes ~cfg ~strategy ~connected n =
   | Mask_scan -> enumerate_mask_scan ~cfg ~connected n
 
 (* ------------------------------------------------------------------ *)
-(* the cross-sweep class cache                                         *)
+(* the cross-sweep class cache
+
+   Locking discipline: the listing table is the only state under
+   [cache_lock]; every access goes through {!Sync.with_lock} (lookup,
+   publish, reset — never around the enumeration itself, which runs
+   outside the lock so workers can overlap; a duplicated computation
+   on a race is deterministic and merely wasted). [cache_guard] is the
+   table's Sync shadow var, so [lcp race] verifies the discipline.
+   The hit/miss tallies are instrumented atomics — they are
+   process-lifetime observability, not part of the locked invariant,
+   and must not tempt anyone into a bare ref again. *)
+
+module Sync = Lcp_obs.Sync
 
 let cache : (int * bool * strategy, Graph.t list * enum_tallies) Hashtbl.t =
   Hashtbl.create 16
 
-let cache_lock = Mutex.create ()
-let hits = ref 0
-let misses = ref 0
+let cache_lock = Sync.mutex "engine/sweep.cache"
+let cache_guard = Sync.Var.make "engine/sweep.cache.table" ()
+let hits = Sync.A.make "engine/sweep.cache_hits" 0
+let misses = Sync.A.make "engine/sweep.cache_misses" 0
 
 (* The single choke point for class listings. Every call reports into
    [cfg]: cache traffic, plus the enumeration tallies of the listing it
@@ -118,10 +131,12 @@ let classes_cached ~cfg ?(strategy = Orderly) ~connected n =
   R.count cfg ~by:0 "cache_hits";
   R.count cfg ~by:0 "cache_misses";
   let key = (n, connected, strategy) in
-  Mutex.lock cache_lock;
-  let cached = Hashtbl.find_opt cache key in
-  (match cached with Some _ -> incr hits | None -> incr misses);
-  Mutex.unlock cache_lock;
+  let cached =
+    Sync.with_lock cache_lock (fun () ->
+        Sync.Var.observe cache_guard;
+        Hashtbl.find_opt cache key)
+  in
+  (match cached with Some _ -> Sync.A.incr hits | None -> Sync.A.incr misses);
   let ((_, e) as entry) =
     match cached with
     | Some entry ->
@@ -135,9 +150,9 @@ let classes_cached ~cfg ?(strategy = Orderly) ~connected n =
           R.span cfg "enumerate" (fun () ->
               enumerate_classes ~cfg ~strategy ~connected n)
         in
-        Mutex.lock cache_lock;
-        if not (Hashtbl.mem cache key) then Hashtbl.replace cache key entry;
-        Mutex.unlock cache_lock;
+        Sync.with_lock cache_lock (fun () ->
+            Sync.Var.touch cache_guard;
+            if not (Hashtbl.mem cache key) then Hashtbl.replace cache key entry);
         entry
   in
   R.count cfg ~by:e.e_candidates "candidates_generated";
@@ -149,14 +164,14 @@ let classes_cached ~cfg ?(strategy = Orderly) ~connected n =
 let iso_classes ?(cfg = R.default) ?strategy ?(connected = true) n =
   fst (classes_cached ~cfg ?strategy ~connected n)
 
-let cache_stats () = (!hits, !misses)
+let cache_stats () = (Sync.A.get hits, Sync.A.get misses)
 
 let clear_cache () =
-  Mutex.lock cache_lock;
-  Hashtbl.reset cache;
-  hits := 0;
-  misses := 0;
-  Mutex.unlock cache_lock
+  Sync.with_lock cache_lock (fun () ->
+      Sync.Var.touch cache_guard;
+      Hashtbl.reset cache);
+  Sync.A.set hits 0;
+  Sync.A.set misses 0
 
 (* Enumerate's streaming class API delegates here when the engine is
    linked: same representatives, same order, but generated by orderly
@@ -220,13 +235,13 @@ let run ?(cfg = R.default) ?(strategy = Orderly) ?(mode = Exhaustive)
                   verdicts;
                 (kept, kept - !violations, !violations, !first)
             | Search_counterexample ->
-                let checked = Atomic.make 0 in
+                let checked = Sync.A.make "engine/sweep.checked" 0 in
                 let hit =
                   Pool.search ~metrics:cfg.R.metrics ~jobs kept (fun i ->
-                      Atomic.incr checked;
+                      Sync.A.incr checked;
                       check targets.(i))
                 in
-                let checked = Atomic.get checked in
+                let checked = Sync.A.get checked in
                 (match hit with
                 | Some (i, c) ->
                     (* which round the early exit fired on: a gauge —

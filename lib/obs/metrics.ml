@@ -1,7 +1,13 @@
 type span_cell = { mutable entries : int; mutable total_ns : int }
 
+(* Locking discipline: every access to the tables and the span stack
+   happens under [lock] (an instrumented {!Sync.mutex}, leaf-level:
+   nothing else is ever acquired while holding it). [guard] is the
+   Sync shadow var standing in for the tables themselves, so
+   [lcp race] can prove the discipline holds under any schedule. *)
 type t = {
-  lock : Mutex.t;
+  lock : Sync.mutex;
+  guard : unit Sync.Var.t;
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, int ref) Hashtbl.t;
   span_cells : (string, span_cell) Hashtbl.t;
@@ -10,19 +16,20 @@ type t = {
 
 let create () =
   {
-    lock = Mutex.create ();
+    lock = Sync.mutex "obs/metrics";
+    guard = Sync.Var.make "obs/metrics.tables" ();
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 16;
     span_cells = Hashtbl.create 16;
     stack = [];
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sync.with_lock t.lock f
+let mutating t f = locked t (fun () -> Sync.Var.touch t.guard; f ())
+let reading t f = locked t (fun () -> Sync.Var.observe t.guard; f ())
 
 let reset t =
-  locked t (fun () ->
+  mutating t (fun () ->
       Hashtbl.reset t.counters;
       Hashtbl.reset t.gauges;
       Hashtbl.reset t.span_cells;
@@ -40,31 +47,31 @@ let cell tbl name =
       r
 
 let incr t ?(by = 1) name =
-  locked t (fun () ->
+  mutating t (fun () ->
       let r = cell t.counters name in
       r := !r + by)
 
 let counter t name =
-  locked t (fun () ->
+  reading t (fun () ->
       match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
 
-let set_gauge t name v = locked t (fun () -> cell t.gauges name := v)
+let set_gauge t name v = mutating t (fun () -> cell t.gauges name := v)
 
 let gauge t name =
-  locked t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.gauges name))
+  reading t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.gauges name))
 
 let sorted_bindings tbl value =
   Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let counters t = locked t (fun () -> sorted_bindings t.counters ( ! ))
-let gauges t = locked t (fun () -> sorted_bindings t.gauges ( ! ))
+let counters t = reading t (fun () -> sorted_bindings t.counters ( ! ))
+let gauges t = reading t (fun () -> sorted_bindings t.gauges ( ! ))
 
 (* ------------------------------------------------------------------ *)
 (* spans                                                               *)
 
 let record_span t path ns =
-  locked t (fun () ->
+  mutating t (fun () ->
       match Hashtbl.find_opt t.span_cells path with
       | Some c ->
           c.entries <- c.entries + 1;
@@ -73,7 +80,7 @@ let record_span t path ns =
 
 let with_span ?enter ?leave t name f =
   let path =
-    locked t (fun () ->
+    mutating t (fun () ->
         let path =
           match t.stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
         in
@@ -84,7 +91,7 @@ let with_span ?enter ?leave t name f =
   let t0 = Clock.now_ns () in
   let finish () =
     let ns = Clock.now_ns () - t0 in
-    locked t (fun () ->
+    mutating t (fun () ->
         match t.stack with p :: rest when p == path -> t.stack <- rest | _ -> ());
     record_span t path ns;
     Option.iter (fun g -> g path ns) leave
@@ -98,13 +105,13 @@ let with_span ?enter ?leave t name f =
       raise e
 
 let span t path =
-  locked t (fun () ->
+  reading t (fun () ->
       Option.map
         (fun c -> (c.entries, c.total_ns))
         (Hashtbl.find_opt t.span_cells path))
 
 let spans t =
-  locked t (fun () ->
+  reading t (fun () ->
       sorted_bindings t.span_cells (fun c -> (c.entries, c.total_ns)))
 
 (* ------------------------------------------------------------------ *)
@@ -172,7 +179,7 @@ let of_json json =
       each "spans" (fun path v ->
           let* entries = let* e = member "entries" v in to_int e in
           let* total = let* w = member "wall_ns" v in to_int w in
-          locked t (fun () ->
+          mutating t (fun () ->
               Hashtbl.replace t.span_cells path { entries; total_ns = total });
           Ok ())
     in

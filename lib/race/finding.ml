@@ -1,0 +1,85 @@
+(* Race findings — the concurrency-side sibling of
+   [Lcp_analysis.Finding]. Subjects and details are built only from
+   creation labels and scenario names (never thread ids, event counts
+   or wall time), so a report is byte-identical across repeated runs
+   with the same seed even though the OS schedules differ. *)
+
+type kind =
+  | Data_race  (** unsynchronized conflicting accesses to a tracked var *)
+  | Lock_inversion  (** a cycle in the lock-class acquisition-order graph *)
+  | Lock_leak  (** a lock still held when its thread ended *)
+  | Invariant_violation  (** a scenario's own invariant check raised *)
+
+type severity = Error | Warning
+
+type t = {
+  kind : kind;
+  severity : severity;
+  scenario : string;
+  subject : string;  (** the var label, lock class(es), or invariant name *)
+  detail : string;
+}
+
+let kind_to_string = function
+  | Data_race -> "data-race"
+  | Lock_inversion -> "lock-inversion"
+  | Lock_leak -> "lock-leak"
+  | Invariant_violation -> "invariant-violation"
+
+let kind_of_string = function
+  | "data-race" -> Some Data_race
+  | "lock-inversion" -> Some Lock_inversion
+  | "lock-leak" -> Some Lock_leak
+  | "invariant-violation" -> Some Invariant_violation
+  | _ -> None
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let default_severity = function
+  | Data_race | Lock_inversion | Invariant_violation -> Error
+  | Lock_leak -> Warning
+
+let make ?severity kind ~scenario ~subject detail =
+  let severity =
+    match severity with Some s -> s | None -> default_severity kind
+  in
+  { kind; severity; scenario; subject; detail }
+
+let is_violation f = f.severity = Error
+
+(* Dedup across schedules (the driver re-analyzes every seeded run):
+   one finding per (kind, subject) per scenario, stable order. *)
+let dedup findings =
+  let seen = Hashtbl.create 16 in
+  let keep =
+    List.filter
+      (fun f ->
+        let key = (f.kind, f.scenario, f.subject) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      findings
+  in
+  List.sort
+    (fun a b ->
+      Stdlib.compare
+        (a.scenario, kind_to_string a.kind, a.subject)
+        (b.scenario, kind_to_string b.kind, b.subject))
+    keep
+
+let to_json f =
+  Lcp_obs.Json.Obj
+    [
+      ("kind", Lcp_obs.Json.String (kind_to_string f.kind));
+      ("severity", Lcp_obs.Json.String (severity_to_string f.severity));
+      ("scenario", Lcp_obs.Json.String f.scenario);
+      ("subject", Lcp_obs.Json.String f.subject);
+      ("detail", Lcp_obs.Json.String f.detail);
+    ]
+
+let pp ppf f =
+  Format.fprintf ppf "%s: [%s/%s] %s: %s" f.scenario
+    (severity_to_string f.severity)
+    (kind_to_string f.kind) f.subject f.detail

@@ -1,0 +1,149 @@
+(* Vector-clock happens-before analysis over a {!Lcp_obs.Sync} trace.
+
+   Every thread of the trace gets a dense index and a vector clock;
+   synchronization objects carry the clocks they transfer:
+
+   - a mutex accumulates the release-time clocks and hands them to the
+     next acquirer (Release -> Acquire edges; [Wait_begin]/[Wait_end]
+     are the release/acquire halves of [Condition.wait]);
+   - an atomic is a synchronization object in both directions: a write
+     merges the writer's clock into the atomic {e and} the atomic's
+     clock back into the writer (RMW-conservative), a read joins the
+     atomic's clock into the reader. Atomics themselves cannot race;
+     they only create edges.
+   - spawn tokens carry parent->child ([Spawn]/[Begin]) and
+     child->parent ([End]/[Join]) edges.
+
+   Tracked plain vars ([V_read]/[V_write]) are the race subjects, in
+   the FastTrack style: per var, the last write epoch plus a per-thread
+   read clock; a pair of accesses from different threads, at least one
+   a write, with no happens-before path, marks the var as raced.
+
+   The trace's [seq] order is consistent with real synchronization
+   order (see the {!Lcp_obs.Sync} ordering contract), so one in-order
+   pass is sound. Findings are keyed by the var's creation label and
+   report the set of {e all} threads that accessed it — both are
+   schedule-independent, which keeps same-seed reports byte-identical
+   even though which particular access pair races first is not. *)
+
+module Sync = Lcp_obs.Sync
+
+type vstate = {
+  vlabel : string;
+  mutable last_w : (int * int) option; (* writer tid, its clock *)
+  reads : int array; (* per tid: clock of latest read, -1 = none *)
+  accessors : bool array;
+  mutable raced : bool;
+}
+
+let join_into dst src =
+  Array.iteri (fun i s -> if s > dst.(i) then dst.(i) <- s) src
+
+let analyze ~scenario (events : Sync.event array) : Finding.t list =
+  (* pass 1: dense thread indices and thread labels *)
+  let tid_of = Hashtbl.create 16 in
+  let ntids = ref 0 in
+  Array.iter
+    (fun (e : Sync.event) ->
+      let key = (e.Sync.dom, e.Sync.thr) in
+      if not (Hashtbl.mem tid_of key) then begin
+        Hashtbl.add tid_of key !ntids;
+        incr ntids
+      end)
+    events;
+  let ntids = !ntids in
+  let labels = Array.make ntids "main" in
+  Array.iter
+    (fun (e : Sync.event) ->
+      if e.Sync.op = Sync.Begin then
+        labels.(Hashtbl.find tid_of (e.Sync.dom, e.Sync.thr)) <- e.Sync.label)
+    events;
+  (* pass 2: the clocks *)
+  let vc = Array.init ntids (fun _ -> Array.make ntids 0) in
+  let locks : (int, int array) Hashtbl.t = Hashtbl.create 32 in
+  let atomics : (int, int array) Hashtbl.t = Hashtbl.create 32 in
+  let spawned : (int, int array) Hashtbl.t = Hashtbl.create 32 in
+  let ended : (int, int array) Hashtbl.t = Hashtbl.create 32 in
+  let vars : (int, vstate) Hashtbl.t = Hashtbl.create 32 in
+  let acquire_from tbl t obj =
+    match Hashtbl.find_opt tbl obj with
+    | Some src -> join_into vc.(t) src
+    | None -> ()
+  in
+  let release_to tbl t obj =
+    match Hashtbl.find_opt tbl obj with
+    | Some dst -> join_into dst vc.(t)
+    | None -> Hashtbl.replace tbl obj (Array.copy vc.(t))
+  in
+  let var_of (e : Sync.event) =
+    match Hashtbl.find_opt vars e.Sync.obj with
+    | Some v -> v
+    | None ->
+        let v =
+          {
+            vlabel = e.Sync.label;
+            last_w = None;
+            reads = Array.make ntids (-1);
+            accessors = Array.make ntids false;
+            raced = false;
+          }
+        in
+        Hashtbl.replace vars e.Sync.obj v;
+        v
+  in
+  Array.iter
+    (fun (e : Sync.event) ->
+      let t = Hashtbl.find tid_of (e.Sync.dom, e.Sync.thr) in
+      (* [u]'s event at clock [cu] happens-before [t]'s current point
+         iff [vc.(t).(u) > cu] *)
+      let concurrent u cu = u <> t && vc.(t).(u) <= cu in
+      (match e.Sync.op with
+      | Sync.Acquire -> acquire_from locks t e.Sync.obj
+      | Sync.Release -> release_to locks t e.Sync.obj
+      | Sync.Wait_begin -> release_to locks t e.Sync.arg
+      | Sync.Wait_end -> acquire_from locks t e.Sync.arg
+      | Sync.Signal | Sync.Broadcast -> ()
+      | Sync.A_write ->
+          release_to atomics t e.Sync.obj;
+          acquire_from atomics t e.Sync.obj
+      | Sync.A_read -> acquire_from atomics t e.Sync.obj
+      | Sync.Spawn -> Hashtbl.replace spawned e.Sync.obj (Array.copy vc.(t))
+      | Sync.Begin -> acquire_from spawned t e.Sync.obj
+      | Sync.End -> Hashtbl.replace ended e.Sync.obj (Array.copy vc.(t))
+      | Sync.Join -> acquire_from ended t e.Sync.obj
+      | Sync.V_write ->
+          let v = var_of e in
+          v.accessors.(t) <- true;
+          (match v.last_w with
+          | Some (u, cu) when concurrent u cu -> v.raced <- true
+          | _ -> ());
+          Array.iteri
+            (fun u cu -> if cu >= 0 && concurrent u cu then v.raced <- true)
+            v.reads;
+          v.last_w <- Some (t, vc.(t).(t))
+      | Sync.V_read ->
+          let v = var_of e in
+          v.accessors.(t) <- true;
+          (match v.last_w with
+          | Some (u, cu) when concurrent u cu -> v.raced <- true
+          | _ -> ());
+          if vc.(t).(t) > v.reads.(t) then v.reads.(t) <- vc.(t).(t));
+      vc.(t).(t) <- vc.(t).(t) + 1)
+    events;
+  let findings = ref [] in
+  Hashtbl.iter
+    (fun _ v ->
+      if v.raced then begin
+        let who = ref [] in
+        Array.iteri (fun t acc -> if acc then who := labels.(t) :: !who) v.accessors;
+        let who = List.sort_uniq Stdlib.compare !who in
+        findings :=
+          Finding.make Finding.Data_race ~scenario ~subject:v.vlabel
+            ("unsynchronized conflicting accesses between threads: "
+            ^ String.concat ", " who)
+          :: !findings
+      end)
+    vars;
+  List.sort
+    (fun (a : Finding.t) b -> Stdlib.compare a.Finding.subject b.Finding.subject)
+    !findings

@@ -1,0 +1,162 @@
+(* Lock-acquisition-order analysis over a {!Lcp_obs.Sync} trace.
+
+   Nodes are lock {e classes} — the creation labels, so every
+   [Sync.mutex "serve/jobq.lock"] instance is one node — and an edge
+   [a -> b] records that some thread acquired a [b]-class lock while
+   holding an [a]-class lock. A cycle in this graph is a potential
+   deadlock: two threads need only interleave the two observed orders.
+   The analysis is static over the trace — the conflicting orders do
+   not have to overlap in time (the defect double runs them
+   sequentially on purpose), which is exactly what makes the check
+   stronger than waiting for an actual deadlock.
+
+   [Condition.wait] releases its mutex for the duration of the wait,
+   so [Wait_begin] removes it from the held set and [Wait_end] re-adds
+   it (with fresh edges from whatever else is still held).
+
+   Also reported here, since the held sets are already being tracked:
+   a lock still held when its thread logs [End] is a [Lock_leak]
+   warning (threads without an [End] event — still running at disarm —
+   are skipped, so truncation never fabricates a leak). *)
+
+module Sync = Lcp_obs.Sync
+
+let analyze ~scenario (events : Sync.event array) : Finding.t list =
+  let held : (int * int, (int * string) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let held_of key =
+    match Hashtbl.find_opt held key with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace held key l;
+        l
+  in
+  let mutex_label : (int, string) Hashtbl.t = Hashtbl.create 32 in
+  let edges : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let thread_label : (int * int, string) Hashtbl.t = Hashtbl.create 16 in
+  let leaks = ref [] in
+  let push_with_edges hl obj label =
+    List.iter
+      (fun (o, l) -> if o <> obj then Hashtbl.replace edges (l, label) ())
+      !hl;
+    hl := (obj, label) :: !hl
+  in
+  let drop hl obj =
+    let rec go = function
+      | [] -> []
+      | (o, _) :: rest when o = obj -> rest
+      | x :: rest -> x :: go rest
+    in
+    hl := go !hl
+  in
+  Array.iter
+    (fun (e : Sync.event) ->
+      let key = (e.Sync.dom, e.Sync.thr) in
+      match e.Sync.op with
+      | Sync.Acquire ->
+          Hashtbl.replace mutex_label e.Sync.obj e.Sync.label;
+          push_with_edges (held_of key) e.Sync.obj e.Sync.label
+      | Sync.Release -> drop (held_of key) e.Sync.obj
+      | Sync.Wait_begin -> drop (held_of key) e.Sync.arg
+      | Sync.Wait_end ->
+          let label =
+            Option.value
+              (Hashtbl.find_opt mutex_label e.Sync.arg)
+              ~default:"?"
+          in
+          push_with_edges (held_of key) e.Sync.arg label
+      | Sync.Begin -> Hashtbl.replace thread_label key e.Sync.label
+      | Sync.End ->
+          let hl = held_of key in
+          let who =
+            Option.value (Hashtbl.find_opt thread_label key) ~default:"main"
+          in
+          List.iter
+            (fun (_, l) ->
+              leaks :=
+                Finding.make Finding.Lock_leak ~scenario ~subject:l
+                  ("lock still held when thread " ^ who ^ " ended")
+                :: !leaks)
+            (List.sort_uniq Stdlib.compare !hl)
+      | _ -> ())
+    events;
+  (* strongly connected components of the label graph (Tarjan) *)
+  let nodes = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (a, b) () ->
+      Hashtbl.replace nodes a ();
+      Hashtbl.replace nodes b ())
+    edges;
+  let succ n =
+    Hashtbl.fold (fun (a, b) () acc -> if a = n then b :: acc else acc) edges []
+  in
+  let index = Hashtbl.create 16
+  and lowlink = Hashtbl.create 16
+  and on_stack = Hashtbl.create 16 in
+  let stack = ref [] and counter = ref 0 and sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          let lv = Hashtbl.find lowlink v and lw = Hashtbl.find lowlink w in
+          if lw < lv then Hashtbl.replace lowlink v lw
+        end
+        else if Hashtbl.mem on_stack w then begin
+          let lv = Hashtbl.find lowlink v and iw = Hashtbl.find index w in
+          if iw < lv then Hashtbl.replace lowlink v iw
+        end)
+      (succ v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  let all_nodes =
+    List.sort Stdlib.compare (Hashtbl.fold (fun n () acc -> n :: acc) nodes [])
+  in
+  List.iter (fun n -> if not (Hashtbl.mem index n) then strongconnect n) all_nodes;
+  let cycle_findings =
+    List.filter_map
+      (fun scc ->
+        match scc with
+        | [] -> None
+        | [ l ] ->
+            if Hashtbl.mem edges (l, l) then
+              Some
+                (Finding.make Finding.Lock_inversion ~scenario ~subject:l
+                   ("two distinct locks of class " ^ l
+                  ^ " nested by one thread (self-cycle)"))
+            else None
+        | _ ->
+            let members = List.sort Stdlib.compare scc in
+            let in_scc l = List.mem l members in
+            let cyc_edges =
+              Hashtbl.fold
+                (fun (a, b) () acc ->
+                  if in_scc a && in_scc b then (a ^ " -> " ^ b) :: acc else acc)
+                edges []
+              |> List.sort Stdlib.compare
+            in
+            Some
+              (Finding.make Finding.Lock_inversion ~scenario
+                 ~subject:(String.concat " <-> " members)
+                 ("conflicting acquisition orders observed: "
+                 ^ String.concat "; " cyc_edges)))
+      !sccs
+  in
+  List.sort Stdlib.compare (cycle_findings @ !leaks)

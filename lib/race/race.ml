@@ -1,0 +1,106 @@
+(* The [lcp race] driver: run each scenario under K seeded schedules,
+   analyze every trace, and fold the findings into one
+   schema-versioned report.
+
+   Per schedule k the perturbation seed is [seed + k * 1_000_003] —
+   distinct pause patterns per schedule, reproducible from [seed]
+   alone. Findings are deduplicated per scenario by (kind, subject)
+   and carry only schedule-independent text, so two runs with the same
+   seed render byte-identical JSON even though the OS interleaves the
+   threads differently. *)
+
+module Sync = Lcp_obs.Sync
+module Json = Lcp_obs.Json
+
+let schema_version = 1
+let default_schedules = 5
+let default_period = 7
+
+type scenario_result = {
+  scenario : string;
+  descr : string;
+  defect : bool;
+  findings : Finding.t list;
+}
+
+type report = {
+  seed : int;
+  schedules : int;
+  period : int;
+  results : scenario_result list;
+}
+
+let analyze ~scenario events =
+  Hb.analyze ~scenario events @ Lockgraph.analyze ~scenario events
+
+let run_scenario ~seed ~schedules ~period (sc : Scenario.t) =
+  let acc = ref [] in
+  for k = 0 to schedules - 1 do
+    Sync.arm ~perturb:{ Sync.pseed = seed + (k * 1_000_003); period } ();
+    let invariant =
+      match sc.Scenario.run () with
+      | () -> []
+      | exception e ->
+          [
+            Finding.make Finding.Invariant_violation ~scenario:sc.Scenario.name
+              ~subject:(sc.Scenario.name ^ "/invariant")
+              (Printexc.to_string e);
+          ]
+    in
+    let events = Sync.disarm () in
+    acc := analyze ~scenario:sc.Scenario.name events @ invariant @ !acc
+  done;
+  {
+    scenario = sc.Scenario.name;
+    descr = sc.Scenario.descr;
+    defect = sc.Scenario.defect;
+    findings = Finding.dedup !acc;
+  }
+
+let run ~seed ~schedules ~period scenarios =
+  {
+    seed;
+    schedules;
+    period;
+    results = List.map (run_scenario ~seed ~schedules ~period) scenarios;
+  }
+
+let findings r = List.concat_map (fun s -> s.findings) r.results
+let violations r = List.filter Finding.is_violation (findings r)
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("tool", Json.String "lcp race");
+      ("seed", Json.Int r.seed);
+      ("schedules", Json.Int r.schedules);
+      ("period", Json.Int r.period);
+      ( "scenarios",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("scenario", Json.String s.scenario);
+                   ("defect", Json.Bool s.defect);
+                   ("findings", Json.List (List.map Finding.to_json s.findings));
+                 ])
+             r.results) );
+    ]
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>race: seed=%d schedules=%d period=%d@,@," r.seed
+    r.schedules r.period;
+  List.iter
+    (fun s ->
+      let n = List.length s.findings in
+      Format.fprintf ppf "%-18s %s%s@," s.scenario
+        (if n = 0 then "clean" else Printf.sprintf "%d finding(s)" n)
+        (if s.defect then " [defect double]" else "");
+      List.iter (fun f -> Format.fprintf ppf "  %a@," Finding.pp f) s.findings)
+    r.results;
+  let v = List.length (violations r) in
+  Format.fprintf ppf "@,%s@]"
+    (if v = 0 then "no violations"
+     else Printf.sprintf "%d violation(s)" v)

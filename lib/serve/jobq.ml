@@ -2,11 +2,19 @@
    and the worker threads (consumers). Admission never blocks: a full
    queue refuses the push and the caller turns that into a structured
    [rejected: queue_full] response — backpressure is explicit and
-   immediate instead of silent and unbounded. *)
+   immediate instead of silent and unbounded.
+
+   Locking discipline: [items] and [closed] are only touched under
+   [lock] (via the instrumented {!Lcp_obs.Sync.with_lock}); [guard] is
+   their Sync shadow var, so [lcp race] checks the discipline under
+   perturbed schedules. [nonempty] signals item arrival and close. *)
+
+module Sync = Lcp_obs.Sync
 
 type 'a t = {
-  lock : Mutex.t;
-  nonempty : Condition.t;
+  lock : Sync.mutex;
+  nonempty : Sync.cond;
+  guard : unit Sync.Var.t;
   items : 'a Queue.t;
   capacity : int;
   mutable closed : bool;
@@ -15,35 +23,36 @@ type 'a t = {
 let create ~capacity =
   if capacity < 0 then invalid_arg "Jobq.create: capacity must be >= 0";
   {
-    lock = Mutex.create ();
-    nonempty = Condition.create ();
+    lock = Sync.mutex "serve/jobq.lock";
+    nonempty = Sync.condition "serve/jobq.nonempty";
+    guard = Sync.Var.make "serve/jobq.state" ();
     items = Queue.create ();
     capacity;
     closed = false;
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sync.with_lock t.lock f
 
 let try_push t x =
   locked t (fun () ->
+      Sync.Var.touch t.guard;
       if t.closed || Queue.length t.items >= t.capacity then false
       else begin
         Queue.push x t.items;
-        Condition.signal t.nonempty;
+        Sync.signal t.nonempty;
         true
       end)
 
 let pop t =
   locked t (fun () ->
       let rec wait () =
+        Sync.Var.touch t.guard;
         match Queue.take_opt t.items with
         | Some x -> Some x
         | None ->
             if t.closed then None
             else begin
-              Condition.wait t.nonempty t.lock;
+              Sync.wait t.nonempty t.lock;
               wait ()
             end
       in
@@ -51,9 +60,10 @@ let pop t =
 
 let close t =
   locked t (fun () ->
+      Sync.Var.touch t.guard;
       t.closed <- true;
-      Condition.broadcast t.nonempty)
+      Sync.broadcast t.nonempty)
 
-let depth t = locked t (fun () -> Queue.length t.items)
+let depth t = locked t (fun () -> Sync.Var.observe t.guard; Queue.length t.items)
 let capacity t = t.capacity
-let is_closed t = locked t (fun () -> t.closed)
+let is_closed t = locked t (fun () -> Sync.Var.observe t.guard; t.closed)

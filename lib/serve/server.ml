@@ -10,6 +10,7 @@
 
 module Json = Lcp_obs.Json
 module Metrics = Lcp_obs.Metrics
+module Sync = Lcp_obs.Sync
 
 (* ------------------------------------------------------------------ *)
 (* connection writers                                                  *)
@@ -18,24 +19,23 @@ module Metrics = Lcp_obs.Metrics
    (control, rejections) and by any worker thread (job results), so
    every write of a line goes through the connection's mutex. A dead
    peer (EPIPE on write) marks the writer dead and further writes
-   become no-ops — the job's result is simply dropped. *)
+   become no-ops — the job's result is simply dropped. [alive] is a
+   tracked var: only ever read or written under [wlock], and
+   [lcp race] holds us to that. *)
 type writer = {
   oc : out_channel;
-  wlock : Mutex.t;
-  mutable alive : bool;
+  wlock : Sync.mutex;
+  alive : bool Sync.Var.t;
 }
 
 let write_line w json =
-  Mutex.lock w.wlock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock w.wlock)
-    (fun () ->
-      if w.alive then
+  Sync.with_lock w.wlock (fun () ->
+      if Sync.Var.get w.alive then
         try
           output_string w.oc (Json.to_string json);
           output_char w.oc '\n';
           flush w.oc
-        with Sys_error _ | Unix.Unix_error _ -> w.alive <- false)
+        with Sys_error _ | Unix.Unix_error _ -> Sync.Var.set w.alive false)
 
 (* ------------------------------------------------------------------ *)
 (* jobs and coalescing                                                 *)
@@ -76,19 +76,22 @@ type t = {
   session : Session.t;
   queue : job Jobq.t;
   listen_fd : Unix.file_descr;
-  next_id : int Atomic.t;
+  next_id : int Sync.A.t;
   in_flight : (string, flight) Hashtbl.t;
-  flight_lock : Mutex.t;
-  mutable shutting_down : bool;
-  state_lock : Mutex.t;
-  mutable worker_threads : Thread.t list;
-  mutable accept_thread : Thread.t option;
+  flight_lock : Sync.mutex;
+  flight_guard : unit Sync.Var.t;
+      (* shadow var for [in_flight]: touched under [flight_lock] only *)
+  shutting_down : bool Sync.A.t;
+      (* written by the first shutdown, read at admission — an atomic,
+         because the two sides hold different locks (or none) *)
+  mutable worker_threads : Sync.thread_handle list;
+  mutable accept_thread : Sync.thread_handle option;
 }
 
 let session t = t.session
 let metrics t = t.session.Session.metrics
 
-let fresh_id t = Atomic.fetch_and_add t.next_id 1
+let fresh_id t = Sync.A.fetch_and_add t.next_id 1
 
 let gauge_depth t =
   Metrics.set_gauge (metrics t) "serve/queue_depth" (Jobq.depth t.queue)
@@ -102,10 +105,8 @@ let respond t w (resp : Protocol.response) =
 
 let finish_job t (job : job) status reason result =
   let followers =
-    Mutex.lock t.flight_lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.flight_lock)
-      (fun () ->
+    Sync.with_lock t.flight_lock (fun () ->
+        Sync.Var.touch t.flight_guard;
         match Hashtbl.find_opt t.in_flight job.key with
         | None -> []
         | Some fl ->
@@ -154,11 +155,9 @@ let reject t w ~id ~kind reason =
 let admit t w (req : Protocol.request) ~key =
   let id = fresh_id t in
   let verdict =
-    Mutex.lock t.flight_lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.flight_lock)
-      (fun () ->
-        if t.shutting_down then `Rejected "shutting_down"
+    Sync.with_lock t.flight_lock (fun () ->
+        Sync.Var.touch t.flight_guard;
+        if Sync.A.get t.shutting_down then `Rejected "shutting_down"
         else
           match Hashtbl.find_opt t.in_flight key with
           | Some fl ->
@@ -187,17 +186,7 @@ let admit t w (req : Protocol.request) ~key =
 (* shutdown                                                            *)
 
 let initiate_shutdown t =
-  let first =
-    Mutex.lock t.state_lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.state_lock)
-      (fun () ->
-        if t.shutting_down then false
-        else begin
-          t.shutting_down <- true;
-          true
-        end)
-  in
+  let first = Sync.A.compare_and_set t.shutting_down false true in
   if first then begin
     Jobq.close t.queue;
     (* wakes the accept loop out of its blocking accept *)
@@ -259,7 +248,11 @@ let handle_line t w line =
 let connection_loop t fd =
   let ic = Unix.in_channel_of_descr fd in
   let w =
-    { oc = Unix.out_channel_of_descr fd; wlock = Mutex.create (); alive = true }
+    {
+      oc = Unix.out_channel_of_descr fd;
+      wlock = Sync.mutex "serve/writer";
+      alive = Sync.Var.make "serve/writer.alive" true;
+    }
   in
   let rec loop () =
     match input_line ic with
@@ -269,16 +262,16 @@ let connection_loop t fd =
     | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
   in
   loop ();
-  Mutex.lock w.wlock;
-  w.alive <- false;
-  Mutex.unlock w.wlock;
+  Sync.with_lock w.wlock (fun () -> Sync.Var.set w.alive false);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_loop t =
   let rec loop () =
     match Unix.accept t.listen_fd with
     | fd, _ ->
-        ignore (Thread.create (fun () -> connection_loop t fd) ());
+        (* fire-and-forget: the handle is dropped, the reader thread
+           dies with its connection *)
+        ignore (Sync.spawn "serve/conn" (fun () -> connection_loop t fd));
         loop ()
     | exception Unix.Unix_error _ -> ()
     (* listen fd closed: shutdown *)
@@ -302,11 +295,11 @@ let start config =
       session = Session.create ~limits:config.limits ~version:config.version ();
       queue = Jobq.create ~capacity:config.capacity;
       listen_fd;
-      next_id = Atomic.make 1;
+      next_id = Sync.A.make "serve/next_id" 1;
       in_flight = Hashtbl.create 16;
-      flight_lock = Mutex.create ();
-      shutting_down = false;
-      state_lock = Mutex.create ();
+      flight_lock = Sync.mutex "serve/flight";
+      flight_guard = Sync.Var.make "serve/flight.table" ();
+      shutting_down = Sync.A.make "serve/shutting_down" false;
       worker_threads = [];
       accept_thread = None;
     }
@@ -314,13 +307,14 @@ let start config =
   (* share acceptance tables across requests for the daemon's lifetime *)
   Lcp_engine.Eval_cache.set_sharing true;
   t.worker_threads <-
-    List.init (max 1 config.workers) (fun _ -> Thread.create (fun () -> worker_loop t) ());
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+    List.init (max 1 config.workers) (fun _ ->
+        Sync.spawn "serve/worker" (fun () -> worker_loop t));
+  t.accept_thread <- Some (Sync.spawn "serve/accept" (fun () -> accept_loop t));
   t
 
 let wait t =
-  Option.iter Thread.join t.accept_thread;
-  List.iter Thread.join t.worker_threads;
+  Option.iter Sync.join t.accept_thread;
+  List.iter Sync.join t.worker_threads;
   Lcp_engine.Eval_cache.set_sharing false;
   try Unix.unlink t.config.socket_path with Unix.Unix_error _ -> ()
 
