@@ -241,6 +241,18 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Every A/B series proves its two paths agree before quoting a
+   speedup. Divergences are recorded here instead of tripping an
+   [assert] mid-run: the remaining series still execute and report,
+   and the driver exits non-zero at the end — a silent mismatch can
+   never hide inside a green bench run, and a CI log shows every
+   divergent row at once rather than the first. *)
+let divergences : string list ref = ref []
+
+let note_identical ~where identical =
+  if not identical then divergences := where :: !divergences;
+  identical
+
 let series_neighborhood () =
   Printf.printf "\n== series: |V(D,n)| for the even-cycle decoder on C_n (E4/E8)\n";
   Printf.printf "%6s %10s %10s %12s %10s\n" "n" "instances" "|V|" "edges" "secs";
@@ -373,9 +385,10 @@ let series_enumerate ~fast () =
         let o, o_s = listing Lcp_engine.Sweep.Orderly in
         let m, m_s = listing Lcp_engine.Sweep.Mask_scan in
         let identical =
-          List.length o = List.length m && List.for_all2 Graph.equal o m
+          note_identical
+            ~where:(Printf.sprintf "enumerate n=%d" n)
+            (List.length o = List.length m && List.for_all2 Graph.equal o m)
         in
-        assert identical;
         Printf.printf "%6d %10d %12.3f %14.3f %9.1fx %10b\n" n (List.length o)
           o_s m_s
           (m_s /. Float.max o_s 1e-9)
@@ -415,10 +428,11 @@ let series_engine_sweep ~fast () =
       let seq = sweep (Run_cfg.sequential bench_cfg) in
       let par = sweep bench_cfg in
       let identical =
-        Checker.verdict_of_sweep seq = Checker.verdict_of_sweep par
-        && seq.Lcp_engine.Sweep.counters = par.Lcp_engine.Sweep.counters
+        note_identical
+          ~where:(Printf.sprintf "sweep n=%d" n)
+          (Checker.verdict_of_sweep seq = Checker.verdict_of_sweep par
+          && seq.Lcp_engine.Sweep.counters = par.Lcp_engine.Sweep.counters)
       in
-      assert identical;
       Printf.printf "%6d %8d %12.3f %12.3f %9.2fx %10b\n" n
         seq.Lcp_engine.Sweep.counters.Lcp_engine.Sweep.kept
         seq.Lcp_engine.Sweep.wall_s par.Lcp_engine.Sweep.wall_s
@@ -470,8 +484,11 @@ let series_search ~fast () =
           let run cfg = time (fun () -> List.map (search cfg) classes) in
           let memo_res, memo_s = run memo_cfg in
           let direct_res, direct_s = run direct_cfg in
-          let identical = memo_res = direct_res in
-          assert identical;
+          let identical =
+            note_identical
+              ~where:(Printf.sprintf "search %s n=%d" name n)
+              (memo_res = direct_res)
+          in
           Printf.printf "%-12s %4d %8d %12.3f %12.3f %9.1fx %10b\n" name n
             (List.length classes) memo_s direct_s
             (direct_s /. Float.max memo_s 1e-9)
@@ -479,6 +496,126 @@ let series_search ~fast () =
           (name, n, List.length classes, memo_s, direct_s, identical))
         sizes)
     suites
+
+(* The PR-9 tentpole series: certificate search quotiented by Aut(G)
+   node-orbits (the default) vs the direct full-space search. Both
+   paths run sequentially with the same acceptance-table setting and
+   must return bit-identical witnesses on every class (tallies
+   legitimately shrink under pruning, so only witnesses are compared).
+   Each row sums per-class searches over every connected non-bipartite
+   class at that order and quotes the aggregate wall ratio, exactly
+   like the acceptance-table series above; the cross-row geometric
+   mean is the headline BENCH_orbit.json records. The decoders are the
+   eligible ones with real per-class search volume — the trivial
+   family's whole space is |Σ|^n = 64–128 evaluations, over in well
+   under a millisecond, where the quotient has nothing to amortize
+   against (~1.0x; its correctness is still pinned classwise by
+   test/test_orbit.ml). Each class is searched [reps] times per path
+   so per-class walls clear timer resolution. *)
+let series_orbit ~fast () =
+  Printf.printf
+    "\n== series: certificate search, orbit pruning vs direct (tentpole)\n";
+  Printf.printf "%-12s %4s %8s %12s %12s %10s %10s\n" "decoder" "n" "classes"
+    "orbit(s)" "direct(s)" "speedup" "identical";
+  let on_cfg = Run_cfg.sequential bench_cfg in
+  let off_cfg = Run_cfg.with_orbit_prune on_cfg false in
+  let suites =
+    [
+      ("degree-one", D_degree_one.suite);
+      ("hidden-leaf2", D_hidden_leaf.suite ~k:2);
+      ("hidden-leaf3", D_hidden_leaf.suite ~k:3);
+    ]
+  in
+  let sizes = if fast then [ 5; 6 ] else [ 6; 7 ] in
+  let rows =
+    List.concat_map
+      (fun (name, suite) ->
+        List.map
+          (fun n ->
+            Lcp_engine.Sweep.clear_cache ();
+            let classes =
+              List.filter
+                (fun g -> not (Coloring.is_bipartite g))
+                (Lcp_engine.Sweep.iso_classes ~cfg:on_cfg n)
+            in
+            let reps = if n >= 7 then 3 else 20 in
+            let search cfg g =
+              let inst = Instance.make g in
+              let alphabet = suite.Decoder.adversary_alphabet inst in
+              let t0 = Unix.gettimeofday () in
+              let last = ref None in
+              for _ = 1 to reps do
+                let witness, _ =
+                  Prover.search_accepted ~cfg suite.Decoder.dec ~alphabet inst
+                in
+                last := Some witness
+              done;
+              (Option.get !last, Unix.gettimeofday () -. t0)
+            in
+            let per_class =
+              List.map (fun g -> (search on_cfg g, search off_cfg g)) classes
+            in
+            let identical =
+              note_identical
+                ~where:(Printf.sprintf "orbit %s n=%d" name n)
+                (List.for_all
+                   (fun ((w_on, _), (w_off, _)) -> w_on = w_off)
+                   per_class)
+            in
+            let orbit_s =
+              List.fold_left (fun a ((_, s), _) -> a +. s) 0. per_class
+            in
+            let direct_s =
+              List.fold_left (fun a (_, (_, s)) -> a +. s) 0. per_class
+            in
+            let speedup = direct_s /. Float.max orbit_s 1e-9 in
+            Printf.printf "%-12s %4d %8d %12.3f %12.3f %9.2fx %10b\n" name n
+              (List.length classes) orbit_s direct_s speedup identical;
+            (name, n, List.length classes, orbit_s, direct_s, speedup, identical))
+          sizes)
+      suites
+  in
+  let geomean =
+    exp
+      (List.fold_left (fun a (_, _, _, _, _, s, _) -> a +. log s) 0. rows
+      /. float_of_int (max 1 (List.length rows)))
+  in
+  Printf.printf "   geometric mean across rows: %.2fx\n" geomean;
+  (rows, geomean)
+
+(* The sharded-sweep wall-clock figure: the full n=8 degree-one sweep
+   vs its two halves under [shard], whose kept counts must partition
+   the full run's and whose verdicts must agree. Skipped under --fast
+   (the full row alone is ~20s). *)
+let series_orbit_shards ~fast () =
+  if fast then None
+  else begin
+    Printf.printf
+      "\n== series: sharded n=8 soundness sweep, degree-one (tentpole)\n";
+    Printf.printf "%10s %8s %12s\n" "slice" "kept" "wall(s)";
+    let n = 8 in
+    let sweep ?shard () =
+      Lcp_engine.Sweep.clear_cache ();
+      Checker.soundness_sweep ~cfg:bench_cfg ?shard D_degree_one.suite ~n
+    in
+    let full = sweep () in
+    let s0 = sweep ~shard:(0, 2) () in
+    let s1 = sweep ~shard:(1, 2) () in
+    let kept s = s.Lcp_engine.Sweep.counters.Lcp_engine.Sweep.kept in
+    let wall s = s.Lcp_engine.Sweep.wall_s in
+    List.iter
+      (fun (slice, s) ->
+        Printf.printf "%10s %8d %12.3f\n" slice (kept s) (wall s))
+      [ ("full", full); ("shard 0/2", s0); ("shard 1/2", s1) ];
+    let identical =
+      note_identical ~where:"orbit shards n=8"
+        (kept s0 + kept s1 = kept full
+        && Checker.is_pass (Checker.verdict_of_sweep full)
+        && Checker.is_pass (Checker.verdict_of_sweep s0)
+        && Checker.is_pass (Checker.verdict_of_sweep s1))
+    in
+    Some (n, kept full, wall full, kept s0, wall s0, kept s1, wall s1, identical)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_sweep.json: the sweep series plus the run's metrics            *)
@@ -570,6 +707,54 @@ let write_search_json path rows =
       output_string oc (Json.to_string_pretty doc);
       output_string oc "\n");
   Printf.printf "search series written to %s\n" path
+
+let write_orbit_json path ((rows, geomean), shard_row) =
+  let ns s = int_of_float (s *. 1e9) in
+  let row (decoder, n, classes, orbit_s, direct_s, speedup, identical) =
+    Json.Obj
+      [
+        ("decoder", Json.String decoder);
+        ("n", Json.Int n);
+        ("classes", Json.Int classes);
+        ("orbit_wall_ns", Json.Int (ns orbit_s));
+        ("direct_wall_ns", Json.Int (ns direct_s));
+        ("speedup_x100", Json.Int (int_of_float (speedup *. 100.)));
+        ("identical", Json.Bool identical);
+      ]
+  in
+  let shard_json =
+    match shard_row with
+    | None -> Json.Null
+    | Some (n, kept, full_s, kept0, s0_s, kept1, s1_s, identical) ->
+        Json.Obj
+          [
+            ("n", Json.Int n);
+            ("kept", Json.Int kept);
+            ("full_wall_ns", Json.Int (ns full_s));
+            ("shard0_kept", Json.Int kept0);
+            ("shard0_wall_ns", Json.Int (ns s0_s));
+            ("shard1_kept", Json.Int kept1);
+            ("shard1_wall_ns", Json.Int (ns s1_s));
+            ("identical", Json.Bool identical);
+          ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int bench_schema_version);
+        ("jobs", Json.Int bench_cfg.Run_cfg.jobs);
+        ("geomean_speedup_x100", Json.Int (int_of_float (geomean *. 100.)));
+        ("orbit", Json.List (List.map row rows));
+        ("shards", shard_json);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty doc);
+      output_string oc "\n");
+  Printf.printf "orbit series written to %s\n" path
 
 (* The PR-6 tentpole series: request latency against a live lcp serve
    daemon on a temp socket, cold (first request, caches empty) vs warm
@@ -987,6 +1172,8 @@ let () =
   series_engine_dedup ~fast ();
   let enumerate_rows = series_enumerate ~fast () in
   let search_rows = series_search ~fast () in
+  let orbit_rows = series_orbit ~fast () in
+  let orbit_shards = series_orbit_shards ~fast () in
   let sweep_rows = series_engine_sweep ~fast () in
   let serve_rows = series_serve ~fast () in
   let race_rows = series_race ~fast () in
@@ -1004,4 +1191,12 @@ let () =
   write_search_json
     (Filename.concat (Filename.dirname metrics_out) "BENCH_search.json")
     search_rows;
-  Printf.printf "\nbench done.\n"
+  write_orbit_json
+    (Filename.concat (Filename.dirname metrics_out) "BENCH_orbit.json")
+    (orbit_rows, orbit_shards);
+  match List.rev !divergences with
+  | [] -> Printf.printf "\nbench done.\n"
+  | ds ->
+      Printf.printf "\nbench FAILED: %d A/B divergence(s): %s\n"
+        (List.length ds) (String.concat ", " ds);
+      exit 1

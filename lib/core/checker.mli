@@ -43,6 +43,8 @@ val strong_soundness_exhaustive :
 val soundness_sweep :
   ?cfg:Run_cfg.t ->
   ?strategy:Lcp_engine.Sweep.strategy ->
+  ?shard:int * int ->
+  ?checkpoint:Lcp_engine.Checkpoint.policy ->
   ?early_exit:bool ->
   Decoder.suite ->
   n:int ->
@@ -55,10 +57,12 @@ val soundness_sweep :
     the enumeration path (default [Orderly]; [Mask_scan] is the
     exhaustive oracle — both yield identical classes and verdicts).
     [early_exit] cancels remaining classes once a violation is found
-    (the returned counterexample is still the minimal one). [cfg]
-    supplies the domain count and collects the sweep's spans and
-    counters, including [labelings_checked] from the per-class
-    certificate searches. *)
+    (the returned counterexample is still the minimal one). [shard]
+    and [checkpoint] pass through to {!Lcp_engine.Sweep.run}: slice
+    the class stream K ways, and/or persist resumable progress
+    (Exhaustive mode only). [cfg] supplies the domain count and
+    collects the sweep's spans and counters, including
+    [labelings_checked] from the per-class certificate searches. *)
 
 val verdict_of_sweep : Instance.t Lcp_engine.Sweep.summary -> verdict
 (** Collapse a {!soundness_sweep} summary into a {!verdict}. *)

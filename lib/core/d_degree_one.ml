@@ -45,7 +45,9 @@ let accepts view =
                (function Color c -> c = 1 - mine | Bot | Top -> false)
                rest)
 
-let decoder = Decoder.make ~name:"degree-one" ~radius:1 ~anonymous:true accepts
+let decoder =
+  Decoder.make ~port_invariant:true ~name:"degree-one" ~radius:1
+    ~anonymous:true accepts
 
 let prover (inst : Instance.t) =
   let g = inst.Instance.graph in

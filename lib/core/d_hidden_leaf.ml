@@ -43,7 +43,7 @@ let accepts ~k view =
                rest)
 
 let decoder ~k =
-  Decoder.make
+  Decoder.make ~port_invariant:true
     ~name:(Printf.sprintf "hidden-leaf-%d-col" k)
     ~radius:1 ~anonymous:true (accepts ~k)
 

@@ -125,7 +125,9 @@ let accepts view =
                     comp' = comp && color' <> color)
               neighbors)
 
-let decoder = Decoder.make ~name:"shatter" ~radius:1 ~anonymous:false accepts
+let decoder =
+  Decoder.make ~port_invariant:true ~name:"shatter" ~radius:1 ~anonymous:false
+    accepts
 
 let prover (inst : Instance.t) =
   let g = inst.Instance.graph in

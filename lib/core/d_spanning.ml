@@ -37,7 +37,9 @@ let accepts view =
         in
         proper && same_root && layered && rooted)
 
-let decoder = Decoder.make ~name:"spanning-2-col" ~radius:1 ~anonymous:false accepts
+let decoder =
+  Decoder.make ~port_invariant:true ~name:"spanning-2-col" ~radius:1
+    ~anonymous:false accepts
 
 let prover (inst : Instance.t) =
   let g = inst.Instance.graph in

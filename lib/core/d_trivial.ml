@@ -18,7 +18,7 @@ let accepts ~k view =
         (View.center_neighbors view)
 
 let decoder ~k =
-  Decoder.make
+  Decoder.make ~port_invariant:true
     ~name:(Printf.sprintf "trivial-%d-col" k)
     ~radius:1 ~anonymous:true (accepts ~k)
 

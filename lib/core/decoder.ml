@@ -5,10 +5,12 @@ type t = {
   name : string;
   radius : int;
   anonymous : bool;
+  port_invariant : bool;
   accepts : View.t -> bool;
 }
 
-let make ~name ~radius ~anonymous accepts = { name; radius; anonymous; accepts }
+let make ?(port_invariant = false) ~name ~radius ~anonymous accepts =
+  { name; radius; anonymous; port_invariant; accepts }
 
 let run t inst = Array.map t.accepts (View.extract_all inst ~r:t.radius)
 
@@ -31,14 +33,15 @@ type contract = {
   declared_port_invariant : bool;
 }
 
-let contract ?radius ?(port_invariant = false) t =
+let contract ?radius ?port_invariant t =
   let declared_radius = Option.value radius ~default:t.radius in
   if declared_radius < 1 || declared_radius > t.radius then
     invalid_arg "Decoder.contract: declared radius outside [1; view radius]";
   {
     declared_radius;
     declared_anonymous = t.anonymous;
-    declared_port_invariant = port_invariant;
+    declared_port_invariant =
+      Option.value port_invariant ~default:t.port_invariant;
   }
 
 type suite = {

@@ -13,10 +13,23 @@ type t = {
   name : string;
   radius : int;
   anonymous : bool;  (** claimed; tests verify it empirically *)
+  port_invariant : bool;
+      (** claimed: verdicts never depend on port numbers. Verified
+          empirically by the sanitizer like [anonymous]. A decoder that
+          is both anonymous and port-invariant has Aut-invariant
+          verdicts, which licenses the automorphism-orbit search
+          pruning ({!Lcp_engine.Auto}); defaults to [false] — reading
+          ports is the norm in this library. *)
   accepts : View.t -> bool;
 }
 
-val make : name:string -> radius:int -> anonymous:bool -> (View.t -> bool) -> t
+val make :
+  ?port_invariant:bool ->
+  name:string ->
+  radius:int ->
+  anonymous:bool ->
+  (View.t -> bool) ->
+  t
 
 val run : t -> Instance.t -> bool array
 (** Per-node verdicts. *)
@@ -59,7 +72,7 @@ type contract = {
 val contract : ?radius:int -> ?port_invariant:bool -> t -> contract
 (** The decoder's declared contract: radius defaults to the extraction
     radius, anonymity to the decoder's [anonymous] flag, port
-    invariance to [false] (reading ports is the norm in this library).
+    invariance to the decoder's [port_invariant] flag.
     @raise Invalid_argument if [radius] is not in [1 .. t.radius]. *)
 
 (** {1 LCP bundles} *)

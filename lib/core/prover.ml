@@ -86,6 +86,34 @@ let use_eval_cache = function
   | Some c -> c.Run_cfg.eval_cache
   | None -> true
 
+let use_orbit_prune = function
+  | Some c -> c.Run_cfg.orbit_prune
+  | None -> true
+
+(* Orbit pruning is sound only for decoders whose per-node verdicts
+   are invariant under the graph's automorphisms: anonymous (no id
+   reads) and port-invariant (no port reads) — then the verdict
+   depends only on the labeled isomorphism type of the view, so
+   acceptance of [L] and [L . sigma] coincide for sigma in Aut(G). *)
+let orbit_eligible dec (inst : Instance.t) =
+  dec.Decoder.anonymous && dec.Decoder.port_invariant
+  && Instance.order inst <= Lcp_engine.Canon.max_order
+
+(* Prefix-minimality programs for [inst]'s graph along the
+   ball-completion order, or [None] when pruning is off, ineligible,
+   or the graph is rigid (the common case: no programs, no cost). *)
+let orbit_constraints ?cfg dec (inst : Instance.t) =
+  if not (use_orbit_prune cfg && orbit_eligible dec inst) then None
+  else
+    let g = inst.Instance.graph in
+    let auto = Lcp_engine.Auto.of_graph g in
+    if Lcp_engine.Auto.is_trivial auto then None
+    else
+      let order = ball_completion_order g ~r:dec.Decoder.radius in
+      match Lcp_engine.Auto.prefix_programs auto ~order with
+      | [||] -> None
+      | progs -> Some progs
+
 (* Everything a memoized verdict depends on besides the labels: the
    decoder (name + radius stand in for its identity — names are unique
    across the registry), the alphabet, and the full configured graph
@@ -137,11 +165,67 @@ let acquire_cache dec ~alphabet inst =
     ~key:(share_key dec ~alphabet inst)
     ~radius:dec.Decoder.radius ~accepts:dec.Decoder.accepts ~alphabet inst
 
-let iter_pruned ?tally ?cfg dec ~alphabet (inst : Instance.t) ~reject_covered f =
+let iter_pruned ?tally ?sym ?cfg dec ~alphabet (inst : Instance.t)
+    ~reject_covered f =
   let g = inst.Instance.graph in
   let r = dec.Decoder.radius in
   let order = ball_completion_order g ~r in
   let schedule = coverage_schedule g ~r ~order in
+  (* symmetry breaking: cut a branch as soon as the just-assigned node
+     violates one of its orbit constraints — every completion shares
+     the violation, so only non-orbit-minimal labelings are lost.
+     Cuts are tallied locally and flushed into the metrics in one
+     batch at the end: a per-cut [Run_cfg.count] would take the
+     registry lock inside the hottest loop of the search. *)
+  let sym_cuts = ref 0 in
+  let sym_rejects =
+    match sym with
+    | None -> fun _ _ -> false
+    | Some progs ->
+        let rank : (string, int) Hashtbl.t = Hashtbl.create 8 in
+        List.iteri
+          (fun i s -> if not (Hashtbl.mem rank s) then Hashtbl.add rank s i)
+          alphabet;
+        (* [rk.(e)] holds the rank of the symbol currently at step [e]:
+           the prune re-runs on every (re)assignment, so reads of
+           earlier steps always see the current value — one string
+           hash per assignment, none inside the program walks. *)
+        let steps = Array.length order in
+        let rk = Array.make (max steps 1) 0 in
+        let np = Array.length progs in
+        (* programs arrive sorted by activation step (the first step
+           at which a walk can be conclusive), so the scan stops at
+           the first not-yet-active program *)
+        let act =
+          Array.map
+            (fun prog ->
+              let s, e = prog.(0) in
+              max s e)
+            progs
+        in
+        fun i (partial : Labeling.t) ->
+          rk.(i) <- Hashtbl.find rank partial.(order.(i));
+          let cut = ref false in
+          let pi = ref 0 in
+          while (not !cut) && !pi < np && act.(!pi) <= i do
+            let prog = progs.(!pi) in
+            let m = Array.length prog in
+            let j = ref 0 in
+            let walking = ref true in
+            while !walking && !j < m do
+              let s, e = prog.(!j) in
+              if s > i || e > i then walking := false
+              else if rk.(s) > rk.(e) then begin
+                cut := true;
+                walking := false
+              end
+              else if rk.(s) < rk.(e) then walking := false
+              else incr j
+            done;
+            incr pi
+          done;
+          !cut
+  in
   let lease =
     if use_eval_cache cfg then Some (acquire_cache dec ~alphabet inst) else None
   in
@@ -168,17 +252,26 @@ let iter_pruned ?tally ?cfg dec ~alphabet (inst : Instance.t) ~reject_covered f 
   in
   let prune i partial =
     (match tally with Some t -> incr t | None -> ());
-    match schedule.(i) with
-    | [] -> false (* no newly covered ball: no verdict can change *)
-    | centers -> branch_rejects partial centers
+    if sym_rejects i partial then begin
+      incr sym_cuts;
+      true
+    end
+    else
+      match schedule.(i) with
+      | [] -> false (* no newly covered ball: no verdict can change *)
+      | centers -> branch_rejects partial centers
   in
   let run () =
     Labeling.iter_backtracking_order ~alphabet ~order g ~prune (fun lab ->
         f (Array.copy lab))
   in
   let finish () =
-    (* report hit/miss tallies even when the search exits early, then
-       hand a pooled cache back *)
+    (* report cut/hit/miss tallies even when the search exits early,
+       then hand a pooled cache back *)
+    (match cfg with
+    | Some c when !sym_cuts > 0 ->
+        Run_cfg.count c ~by:!sym_cuts "orbit_pruned_branches"
+    | _ -> ());
     count_eval_stats cfg lease;
     Option.iter Lcp_engine.Eval_cache.release lease
   in
@@ -192,12 +285,23 @@ let iter_labelings_pruned ?cfg dec ~alphabet inst ~reject_covered f =
 let iter_accepted ?cfg dec ~alphabet inst f =
   iter_labelings_pruned ?cfg dec ~alphabet inst ~reject_covered:(fun _ -> true) f
 
+(* The search explores labelings in lexicographic order of the
+   alphabet ranks along the ball-completion order, so its first
+   accepted labeling is the lex-minimum of the (Aut-closed, for
+   eligible decoders) accepted set — automatically minimal in its own
+   orbit. Orbit constraints only ever cut non-minimal labelings, so
+   the pruned and direct paths return bit-identical witnesses (and
+   identical [None]s); only the tally shrinks. *)
 let search_accepted ?cfg dec ~alphabet inst =
   let tally = ref 0 in
+  let sym = orbit_constraints ?cfg dec inst in
+  (match cfg with
+  | Some c -> Run_cfg.count c ~by:0 "orbit_pruned_branches"
+  | None -> ());
   let exception Found of Labeling.t in
   let witness =
     try
-      iter_pruned ~tally ?cfg dec ~alphabet inst
+      iter_pruned ~tally ?sym ?cfg dec ~alphabet inst
         ~reject_covered:(fun _ -> true)
         (fun lab -> raise (Found lab));
       None

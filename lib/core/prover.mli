@@ -20,7 +20,24 @@
     identical), and when a cfg is present the search reports
     [eval_cache_hits] / [eval_cache_misses] into its metrics. Searches
     are sequential per instance, so both counters and tallies are
-    deterministic and independent of [cfg.jobs]. *)
+    deterministic and independent of [cfg.jobs].
+
+    {!search_accepted} / {!find_accepted} additionally quotient the
+    space by the graph's automorphism group when [cfg.orbit_prune]
+    holds (the default) and the decoder's verdicts are Aut-invariant
+    (anonymous and port-invariant, order <= {!Lcp_engine.Canon.max_order}):
+    per-automorphism prefix-minimality programs from
+    {!Lcp_engine.Auto.prefix_programs} cut a branch as soon as some
+    automorphism provably sends every completion of the current
+    partial labeling to a lexicographically smaller one.
+    The search visits labelings in lex order, so its first accepted
+    labeling is automatically the minimum of its (Aut-closed) accepted
+    set — witnesses and verdicts are bit-identical to the direct path
+    ([cfg.orbit_prune = false], the oracle); only the work tally
+    shrinks, deterministically per setting, with the cut branches
+    reported as [orbit_pruned_branches]. {!iter_accepted} /
+    {!count_accepted} enumerate {e all} accepted labelings and are
+    never orbit-pruned. *)
 
 open Lcp_local
 
@@ -46,7 +63,10 @@ val search_accepted :
     accepting or exhausting the space. The search is sequential per
     instance, so the tally is deterministic — it feeds the engine's
     [labelings_checked] counter — and identical with the acceptance
-    tables on or off. *)
+    tables on or off. Orbit pruning (see the module doc) shrinks the
+    tally on symmetric graphs: it is deterministic {e per
+    orbit-prune setting}, equal whenever the graph is rigid or the
+    decoder ineligible, and never changes the witness. *)
 
 val iter_accepted :
   ?cfg:Run_cfg.t ->
@@ -60,6 +80,14 @@ val iter_accepted :
 
 val count_accepted :
   ?cfg:Run_cfg.t -> Decoder.t -> alphabet:string list -> Instance.t -> int
+
+val orbit_eligible : Decoder.t -> Instance.t -> bool
+(** Whether the automorphism-orbit quotient is sound for this decoder
+    on this instance: verdicts must be Aut-invariant (the decoder is
+    anonymous {e and} port-invariant — then a verdict depends only on
+    the labeled isomorphism type of the view) and the order must not
+    exceed {!Lcp_engine.Canon.max_order}. Shared with {!Checker}'s
+    exhaustive strong-soundness quotient. *)
 
 val acquire_cache :
   Decoder.t ->

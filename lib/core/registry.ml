@@ -7,24 +7,28 @@ type entry = {
 let entry ?radius ?port_invariant key suite =
   { key; suite; contract = Decoder.contract ?radius ?port_invariant suite.Decoder.dec }
 
-(* Port invariance is declared only where the accepts function provably
+(* Port invariance is declared in each decoder module ([Decoder.make
+   ~port_invariant:true]), only where the accepts function provably
    ignores port numbers: those decoders read neighbor certificates
    through [View.center_neighbors] but never branch on the port
    components. The cycle-structured decoders (even-cycle, edge-bit,
    watermelon) and the union wrapper that can delegate to one of them
-   verify far-end ports by design and are exempt. *)
+   verify far-end ports by design and are exempt. The contract (and
+   the orbit-pruned searches) derive the flag from the decoder record
+   itself, so the declaration lives next to the accepts function it
+   describes. *)
 let all =
   [
-    entry "trivial2" (D_trivial.suite ~k:2) ~port_invariant:true;
-    entry "trivial3" (D_trivial.suite ~k:3) ~port_invariant:true;
-    entry "spanning" D_spanning.suite ~port_invariant:true;
-    entry "degree-one" D_degree_one.suite ~port_invariant:true;
+    entry "trivial2" (D_trivial.suite ~k:2);
+    entry "trivial3" (D_trivial.suite ~k:3);
+    entry "spanning" D_spanning.suite;
+    entry "degree-one" D_degree_one.suite;
     entry "even-cycle" D_even_cycle.suite;
     entry "union" D_union.suite;
-    entry "shatter" D_shatter.suite ~port_invariant:true;
+    entry "shatter" D_shatter.suite;
     entry "watermelon" D_watermelon.suite;
-    entry "hidden-leaf2" (D_hidden_leaf.suite ~k:2) ~port_invariant:true;
-    entry "hidden-leaf3" (D_hidden_leaf.suite ~k:3) ~port_invariant:true;
+    entry "hidden-leaf2" (D_hidden_leaf.suite ~k:2);
+    entry "hidden-leaf3" (D_hidden_leaf.suite ~k:3);
     entry "edge-bit" D_edge_bit.suite;
   ]
 

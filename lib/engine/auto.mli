@@ -1,0 +1,84 @@
+(** Automorphism groups of small graphs, harvested from {!Canon}.
+
+    {!Canon.min_witnesses} returns every relabeling that achieves the
+    minimal edge mask; composing each witness with a fixed witness's
+    inverse turns that list into the full automorphism group [Aut(G)]
+    as vertex permutations. This module packages the group together
+    with the two quotient operations the certificate searches need:
+
+    - {!orbits} / {!generators}: node orbits and a small (strong)
+      generating set, for reporting and validation;
+    - {!lex_constraints} / {!prefix_programs}: symmetry breaking for a
+      backtracking labeling search — per-step conditions that cut a
+      partial labeling only if {e no} completion of it is
+      lexicographically minimal in its Aut-orbit. Restricting a search
+      to orbit minima is sound for any decoder whose per-node verdict
+      is invariant under the graph's automorphisms (anonymous {e and}
+      port-invariant decoders: the verdict depends only on the labeled
+      isomorphism type of the view), because acceptance of [L] and of
+      [L∘σ] coincide and the lexicographically first accepted labeling
+      is automatically minimal in its own orbit.
+
+    Orders are capped at {!Canon.max_order}; the group is stored in
+    full (the worst connected case at that cap, K9, has 362,880
+    elements — transient megabytes, and rigid graphs dominate every
+    real sweep). *)
+
+type t
+
+val of_adj : n:int -> int array -> t
+(** Aut of the graph given as adjacency bitsets
+    ({!Chunk.adj_of_mask}). Raises [Invalid_argument] past
+    {!Canon.max_order}. *)
+
+val of_graph : Lcp_graph.Graph.t -> t
+
+val order : t -> int
+(** Number of graph nodes. *)
+
+val size : t -> int
+(** [|Aut(G)|] (always >= 1; the identity is included). *)
+
+val is_trivial : t -> bool
+(** The graph is rigid: only the identity automorphism. *)
+
+val perms : t -> int array array
+(** Every automorphism as a vertex→vertex permutation, in the
+    branch-and-bound's deterministic discovery order. The array and
+    its rows are owned by [t]: do not mutate. *)
+
+val orbits : t -> int array
+(** [orbits t] maps each node to the smallest node in its orbit under
+    the full group — equal entries iff same orbit. *)
+
+val generators : t -> int array list
+(** A strong generating set: transversal representatives along the
+    stabilizer chain with base [0, 1, ..., n-1]. Empty iff the group
+    is trivial. Generates the full group. *)
+
+val lex_constraints : t -> order:int array -> int list array
+(** [lex_constraints t ~order] for a backtracking search assigning
+    node [order.(i)] at step [i]: [cs.(s)] lists the earlier steps [e]
+    such that a labeling can only be lexicographically minimal in its
+    Aut-orbit (comparing alphabet-rank sequences along [order]) if
+    [rank L(order.(s)) >= rank L(order.(e))]. Checking [cs.(s)] as
+    soon as step [s] assigns its node prunes whole subtrees of
+    non-minimal labelings and never cuts an orbit minimum. Derived
+    from the stabilizer chain along [order] (first-assignment
+    symmetry breaking). *)
+
+val prefix_programs : t -> order:int array -> (int * int) array array
+(** Full lexicographic prefix-minimality tests, one program per
+    non-identity automorphism [p]: the pairs [(s, e)] in increasing
+    step order, restricted to the steps [p] moves, where [e] is the
+    step assigned [p]'s image of the node assigned at step [s]. A
+    search in [order] walks a program over the pairs whose steps are
+    both assigned: all ranks equal so far and [rank(s) > rank(e)]
+    proves [L∘p] lexicographically smaller on a fully decided prefix
+    — no completion of the current partial labeling is minimal in its
+    orbit, so the branch can be cut; [rank(s) < rank(e)] or an
+    unassigned step ends the walk inconclusively. Strictly stronger
+    than {!lex_constraints} (which keeps only the conditions the
+    stabilizer chain makes unconditional) at the price of a walk per
+    automorphism. Any prefix of the result prunes soundly, so callers
+    may truncate it. *)

@@ -139,6 +139,51 @@ let minimize ~n adj ~init cells =
   place 0 (cell_size 0) (n - 1) 0 0;
   !best
 
+(* Every label->vertex bijection achieving a known minimum mask. The
+   same branch-and-bound as [minimize] over the trivial one-cell
+   partition, but with the incumbent pinned at the true minimum: the
+   tie-keeping [<=] prune then visits exactly the min-achieving leaves
+   (nothing can beat the pinned incumbent, so every surviving leaf
+   ties). Relabeling by any two witnesses produces the same minimal
+   graph, so [p . q^-1] is an automorphism for every witness pair and
+   the witness list is [Aut(G) . q] for any fixed witness [q] — the
+   automorphism group falls out of the minimization (see {!Auto}). *)
+let collect_witnesses ~n adj ~best =
+  let vert_of = Array.make n 0 in
+  let bases = Array.init n (fun l -> (l * ((2 * n) - l - 3) / 2) + l) in
+  let acc = ref [] in
+  let rec place label assigned partial =
+    if label < 0 then begin
+      if partial = best then acc := Array.copy vert_of :: !acc
+    end
+    else
+      for x = 0 to n - 1 do
+        if assigned land (1 lsl x) = 0 then begin
+          let base = bases.(label) in
+          let row = adj.(x) in
+          let blk = ref 0 in
+          for m = label + 1 to n - 1 do
+            if row land (1 lsl vert_of.(m)) <> 0 then
+              blk := !blk lor (1 lsl (base + m - label - 1))
+          done;
+          let partial = partial lor !blk in
+          if partial <= (best lsr base) lsl base then begin
+            vert_of.(label) <- x;
+            place (label - 1) (assigned lor (1 lsl x)) partial
+          end
+        end
+      done
+  in
+  place (n - 1) 0 0;
+  List.rev !acc
+
+let min_witnesses ~n adj =
+  check_order ~who:"min_witnesses" n;
+  if n <= 1 then (0, [ Array.init n Fun.id ])
+  else
+    let best = minimize ~n adj ~init:max_int [ List.init n Fun.id ] in
+    (best, collect_witnesses ~n adj ~best)
+
 let canonical_mask ~n adj =
   check_order ~who:"canonical_mask" n;
   if n <= 1 then 0

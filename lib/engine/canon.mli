@@ -43,6 +43,19 @@ val min_mask : ?init:int -> n:int -> int array -> int
     does not depend on the refinement's cell order, so it is the
     stable cross-strategy representative. *)
 
+val min_witnesses : n:int -> int array -> int * int array list
+(** [min_witnesses ~n adj] is {!min_mask} together with {e every}
+    label→vertex bijection achieving it. Relabeling by any two
+    witnesses yields the same minimal graph, so [p ∘ q⁻¹] is an
+    automorphism for every witness pair and the list is exactly
+    [Aut(G) ∘ q] for any fixed witness [q]: the automorphism group
+    falls out of the same branch-and-bound that computes the canonical
+    form (harvested by {!Auto}). Implemented as the regular
+    minimization followed by a collecting pass with the incumbent
+    pinned — the tie-keeping [<=] prune guarantees every min-achieving
+    leaf is visited. The list has [|Aut(G)|] entries, in the
+    branch-and-bound's deterministic discovery order. *)
+
 val key_adj : n:int -> int array -> int
 (** The canonical mask with the order packed into the low 4 bits —
     equal iff the graphs are isomorphic. (Replaces the historical

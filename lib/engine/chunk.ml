@@ -56,6 +56,12 @@ let mask_of_graph g =
   if slots n > 30 then invalid_arg "Chunk.mask_of_graph: order too large";
   Graph.fold_edges (fun u v m -> m lor (1 lsl slot_index n u v)) g 0
 
+let wide_mask_of_graph g =
+  let n = Graph.order g in
+  if slots n > Sys.int_size - 1 then
+    invalid_arg "Chunk.wide_mask_of_graph: order too large";
+  Graph.fold_edges (fun u v m -> m lor (1 lsl slot_index n u v)) g 0
+
 let graph_of_mask n mask =
   let es = ref [] in
   let i = ref 0 in

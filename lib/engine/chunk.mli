@@ -40,6 +40,17 @@ val adj_of_mask : int -> int -> int array
 val adj_of_graph : Graph.t -> int array
 
 val mask_of_graph : Graph.t -> int
+(** Inverse of {!graph_of_mask}; restricted to the scannable space.
+    @raise Invalid_argument when [slots n > 30]. *)
+
+val wide_mask_of_graph : Graph.t -> int
+(** The same edge mask without the scannable-space restriction: valid
+    as long as the slot count fits a native int (n <= 11 — the
+    {!Canon.max_order} regime), which the mask-space {e scan} never
+    could be. Class keys for sharded sweeps are built on this, so the
+    key contract survives past [n = 7].
+    @raise Invalid_argument when the slot count exceeds the int
+    width. *)
 
 val graph_of_mask : int -> int -> Graph.t
 (** [graph_of_mask n mask] builds the full graph (use only on the few

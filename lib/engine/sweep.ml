@@ -182,6 +182,34 @@ let () =
       iso_classes ~cfg:R.default ~connected n)
 
 (* ------------------------------------------------------------------ *)
+(* sharding                                                            *)
+
+(* The class key: the representative's edge mask, computed wide
+   (Chunk.wide_mask_of_graph) so the contract survives past the n = 7
+   scan limit. Representatives are the minimal-mask members of their
+   classes, listed ascending, so target order and key order agree. *)
+let class_key = Chunk.wide_mask_of_graph
+
+(* splitmix64's output function on the key: shards must cut the class
+   stream evenly even though minimal edge masks are anything but
+   uniform, and must depend on nothing except the key — not the
+   strategy that produced the listing, not [jobs], not the keep
+   filter's order of evaluation. *)
+let mix64 key =
+  let open Int64 in
+  let z = add (of_int key) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let shard_of_key ~shards key =
+  if shards < 1 then invalid_arg "Sweep.shard_of_key: shards must be >= 1";
+  Int64.to_int (Int64.rem (Int64.logand (mix64 key) Int64.max_int)
+                  (Int64.of_int shards))
+
+let shard_of_class ~shards g = shard_of_key ~shards (class_key g)
+
+(* ------------------------------------------------------------------ *)
 (* sweeps                                                              *)
 
 type mode = Exhaustive | Search_counterexample
@@ -207,33 +235,189 @@ type 'c summary = {
   wall_s : float;
 }
 
+module M = Lcp_obs.Metrics
+
+(* The checkpointed exhaustive runner: targets are consumed in chunks
+   of [max 32 (4 * jobs)] classes, and after every chunk the full
+   counter state is written atomically to [policy.path]. A resumed run
+   validates the header and the class stream (the last completed
+   class's key must match), credits the checkpoint's labelings into
+   the cfg so the final metric covers the whole logical sweep, and
+   continues from the first unfinished class. Violations persist as
+   class keys; the counterexample instance is rebuilt at the end by
+   re-running [check] on the smallest violating key (that rerun lands
+   in the metrics {e after} the final checkpoint write, so on-disk
+   counters stay bit-identical to an uninterrupted run's). *)
+let run_checkpointed ~cfg ~jobs ~strategy ~connected ~n ~shards ~shard ~e
+    ~targets ~kept ~check (policy : Checkpoint.policy) =
+  let enum =
+    {
+      Checkpoint.candidates = e.e_candidates;
+      connected = e.e_connected;
+      classes = e.e_classes;
+      dedup_hits = e.e_dedup_hits;
+    }
+  in
+  let fresh =
+    {
+      Checkpoint.tag = policy.Checkpoint.tag;
+      n;
+      strategy = strategy_name strategy;
+      connected_only = connected;
+      shards;
+      shard;
+      enum;
+      kept;
+      completed = 0;
+      last_key = -1;
+      checked = 0;
+      passed = 0;
+      violations = 0;
+      violating_keys = [];
+      labelings = 0;
+      complete = kept = 0;
+    }
+  in
+  let resumed = policy.Checkpoint.resume && Sys.file_exists policy.Checkpoint.path in
+  let state =
+    if not resumed then fresh
+    else
+      match Checkpoint.load policy.Checkpoint.path with
+      | Error msg -> failwith ("sweep --resume: " ^ msg)
+      | Ok prev ->
+          (match Checkpoint.header_mismatch fresh prev with
+          | Some what ->
+              failwith
+                (Printf.sprintf
+                   "sweep --resume: checkpoint %s disagrees on %s"
+                   policy.Checkpoint.path what)
+          | None -> ());
+          if prev.Checkpoint.shard <> shard then
+            failwith "sweep --resume: checkpoint belongs to another shard";
+          if prev.Checkpoint.kept <> kept then
+            failwith "sweep --resume: checkpoint kept-count mismatch";
+          if
+            prev.Checkpoint.completed > 0
+            && class_key targets.(prev.Checkpoint.completed - 1)
+               <> prev.Checkpoint.last_key
+          then
+            failwith
+              "sweep --resume: checkpoint does not match the class stream";
+          prev
+  in
+  (* the resumed share of the work counter, so metrics describe the
+     logical sweep, not just this process's slice *)
+  if state.Checkpoint.labelings > 0 then
+    R.count cfg ~by:state.Checkpoint.labelings "labelings_checked";
+  let base =
+    M.counter cfg.R.metrics "labelings_checked" - state.Checkpoint.labelings
+  in
+  let chunk = max 32 (4 * jobs) in
+  let st = ref state in
+  if (not !st.Checkpoint.complete) || not resumed then
+    Checkpoint.save ~path:policy.Checkpoint.path !st;
+  while not !st.Checkpoint.complete do
+    let s = !st in
+    let lo = s.Checkpoint.completed in
+    let hi = min kept (lo + chunk) in
+    let verdicts =
+      Pool.run ~metrics:cfg.R.metrics ~jobs (hi - lo) (fun i ->
+          check targets.(lo + i))
+    in
+    let viol = ref 0 and keys = ref [] in
+    Array.iteri
+      (fun i v ->
+        match v with
+        | None -> ()
+        | Some _ ->
+            incr viol;
+            keys := class_key targets.(lo + i) :: !keys)
+      verdicts;
+    let s =
+      {
+        s with
+        Checkpoint.completed = hi;
+        last_key = class_key targets.(hi - 1);
+        checked = s.Checkpoint.checked + (hi - lo);
+        passed = s.Checkpoint.passed + (hi - lo - !viol);
+        violations = s.Checkpoint.violations + !viol;
+        violating_keys = s.Checkpoint.violating_keys @ List.rev !keys;
+        labelings = M.counter cfg.R.metrics "labelings_checked" - base;
+        complete = hi = kept;
+      }
+    in
+    Checkpoint.save ~path:policy.Checkpoint.path s;
+    st := s
+  done;
+  let s = !st in
+  let counterexample =
+    match s.Checkpoint.violating_keys with
+    | [] -> None
+    | keys -> (
+        let key = List.fold_left min max_int keys in
+        let idx = ref (-1) in
+        Array.iteri (fun i g -> if !idx < 0 && class_key g = key then idx := i) targets;
+        if !idx < 0 then
+          failwith "sweep checkpoint: violating key not in the class stream";
+        match check targets.(!idx) with
+        | Some c -> Some (targets.(!idx), c)
+        | None ->
+            failwith "sweep checkpoint: recorded violation did not reproduce")
+  in
+  (s.Checkpoint.checked, s.Checkpoint.passed, s.Checkpoint.violations,
+   counterexample)
+
 let run ?(cfg = R.default) ?(strategy = Orderly) ?(mode = Exhaustive)
-    ?(connected = true) ?(keep = fun _ -> true) ~n ~check () =
+    ?(connected = true) ?shard ?checkpoint ?(keep = fun _ -> true) ~n ~check ()
+    =
+  (match shard with
+  | Some (i, k) when k < 1 || i < 0 || i >= k ->
+      invalid_arg "Sweep.run: shard index out of range"
+  | _ -> ());
+  (match (checkpoint, mode) with
+  | Some _, Search_counterexample ->
+      invalid_arg "Sweep.run: checkpoints require Exhaustive mode"
+  | _ -> ());
   R.span cfg "sweep" (fun () ->
       let t0 = Lcp_obs.Clock.now_s () in
       let jobs = cfg.R.jobs in
       let reps, e = classes_cached ~cfg ~strategy ~connected n in
-      let targets = Array.of_list (List.filter keep reps) in
+      let shards, shard_ix =
+        match shard with None -> (1, 0) | Some (i, k) -> (k, i)
+      in
+      let targets =
+        Array.of_list
+          (List.filter
+             (fun g ->
+               keep g
+               && (shards = 1 || shard_of_class ~shards g = shard_ix))
+             reps)
+      in
       let kept = Array.length targets in
       R.count cfg ~by:kept "kept";
       let checked, passed, violations, counterexample =
         R.span cfg "check" (fun () ->
             match mode with
-            | Exhaustive ->
-                let verdicts =
-                  Pool.run ~metrics:cfg.R.metrics ~jobs kept (fun i ->
-                      check targets.(i))
-                in
-                let violations = ref 0 and first = ref None in
-                Array.iteri
-                  (fun i v ->
-                    match v with
-                    | None -> ()
-                    | Some c ->
-                        incr violations;
-                        if !first = None then first := Some (targets.(i), c))
-                  verdicts;
-                (kept, kept - !violations, !violations, !first)
+            | Exhaustive -> (
+                match checkpoint with
+                | Some policy ->
+                    run_checkpointed ~cfg ~jobs ~strategy ~connected ~n ~shards
+                      ~shard:shard_ix ~e ~targets ~kept ~check policy
+                | None ->
+                    let verdicts =
+                      Pool.run ~metrics:cfg.R.metrics ~jobs kept (fun i ->
+                          check targets.(i))
+                    in
+                    let violations = ref 0 and first = ref None in
+                    Array.iteri
+                      (fun i v ->
+                        match v with
+                        | None -> ()
+                        | Some c ->
+                            incr violations;
+                            if !first = None then first := Some (targets.(i), c))
+                      verdicts;
+                    (kept, kept - !violations, !violations, !first))
             | Search_counterexample ->
                 let checked = Sync.A.make "engine/sweep.checked" 0 in
                 let hit =

@@ -79,6 +79,31 @@ val cache_stats : unit -> int * int
 val clear_cache : unit -> unit
 (** Drop the memoized class listings (resets {!cache_stats}). *)
 
+(** {1 Sharding}
+
+    A sweep can be cut into [K] independent slices that different
+    processes (or machines) work through separately and whose
+    checkpoints {!Checkpoint.merge} back into the unsharded totals.
+    The cut is a pure function of each class's {e key} — nothing else:
+    not the strategy, not [jobs], not the keep filter — so any two
+    runs agree on which shard owns which class. *)
+
+val class_key : Graph.t -> int
+(** The shard-key contract: a class is keyed by its representative's
+    wide edge mask ({!Chunk.wide_mask_of_graph}) — stable across
+    processes, strategies and orders up to {!Canon.max_order}, and
+    ascending along the listing (representatives are minimal-mask
+    members, listed ascending). *)
+
+val shard_of_key : shards:int -> int -> int
+(** Which of the [shards] slices owns a class key: a splitmix64-style
+    bit mix of the key, reduced mod [shards] — minimal edge masks are
+    heavily non-uniform, the mix spreads them evenly.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val shard_of_class : shards:int -> Graph.t -> int
+(** [shard_of_key ~shards] of {!class_key}. *)
+
 (** {1 Sweeps} *)
 
 type mode =
@@ -127,6 +152,8 @@ val run :
   ?strategy:strategy ->
   ?mode:mode ->
   ?connected:bool ->
+  ?shard:int * int ->
+  ?checkpoint:Checkpoint.policy ->
   ?keep:(Graph.t -> bool) ->
   n:int ->
   check:(Graph.t -> 'c option) ->
@@ -138,6 +165,27 @@ val run :
     one representative per class), and run [check] on each kept class
     in parallel on [cfg.jobs] domains ([Run_cfg.sequential cfg] for a
     strictly sequential sweep). [check g = Some c] reports a violation
-    [c]; [None] is an accept. *)
+    [c]; [None] is an accept.
+
+    [shard = (i, k)] restricts the sweep to slice [i] of [k] (see
+    {!shard_of_class}); the filter applies after [keep], and [kept] /
+    [checked] / [passed] / [violations] count shard-locally.
+    Enumeration tallies are shard-independent (the filter runs on the
+    listing, never during enumeration).
+
+    [checkpoint] (Exhaustive mode only — {!Search_counterexample}
+    raises [Invalid_argument]) makes the sweep durable: targets run in
+    chunks of [max 32 (4 * jobs)] classes with the counter state saved
+    atomically to [policy.path] after each chunk. With
+    [policy.resume] and an existing file, the sweep validates the
+    checkpoint's header and class stream against this run (any
+    disagreement raises [Failure]) and continues from the first
+    unfinished class; the checkpoint's [labelings_checked] share is
+    credited into [cfg]'s metrics so the final counters describe the
+    whole logical sweep. A violating sweep rebuilds its
+    minimal-key counterexample by re-running [check] once after the
+    final checkpoint write — that rerun's work lands in the metrics
+    but never in the file, so on-disk counters are bit-identical to an
+    uninterrupted run's. *)
 
 val pp_summary : Format.formatter -> 'c summary -> unit

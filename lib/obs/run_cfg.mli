@@ -23,6 +23,19 @@ type t = {
           the [labelings_checked] counter are identical either way —
           only wall time and the [eval_cache_hits] / [eval_cache_misses]
           counters change. *)
+  orbit_prune : bool;
+      (** quotient exhaustive certificate searches by the graph's
+          automorphism group ({!Lcp_engine.Auto}): enumerate only
+          labelings that are lexicographically minimal in their
+          Aut-orbit. Applies only to decoders whose verdicts are
+          Aut-invariant (anonymous and port-invariant); [false] forces
+          the direct full enumeration, kept as the oracle the pruned
+          path is validated against. Verdicts, witnesses and
+          counterexamples are identical either way; the search-tally
+          component of [labelings_checked] shrinks under pruning
+          (deterministically per setting), while exhaustive
+          strong-soundness counts stay exactly identical on passing
+          runs via orbit weights. *)
   sink : Sink.t;  (** where spans / progress / the final flush go *)
   deadline : float option;  (** wall-clock budget in seconds, if any *)
   metrics : Metrics.t;  (** the aggregate registry for this run *)
@@ -34,6 +47,7 @@ val make :
   ?heavy:bool ->
   ?seed:int ->
   ?eval_cache:bool ->
+  ?orbit_prune:bool ->
   ?sink:Sink.t ->
   ?deadline:float ->
   unit ->
@@ -41,7 +55,8 @@ val make :
 (** Fresh cfg with a fresh metrics registry. [jobs] absent or [<= 0]
     means [Domain.recommended_domain_count ()]; [heavy] defaults to
     [true]; [seed] to the repo-wide experiment seed 20250706;
-    [eval_cache] to [true]; [sink] to {!Sink.null}; no deadline. *)
+    [eval_cache] and [orbit_prune] to [true]; [sink] to {!Sink.null};
+    no deadline. *)
 
 val default : t
 (** A shared cfg built once at module init with [make ()]. Callers that
@@ -59,6 +74,10 @@ val with_eval_cache : t -> bool -> t
 (** Same run (same metrics, sink, seed, deadline), different
     acceptance-table policy — the escape hatch behind the CLI's
     [--no-eval-cache]. *)
+
+val with_orbit_prune : t -> bool -> t
+(** Same run, different automorphism-quotient policy — the escape
+    hatch behind the CLI's [--no-orbit-prune]. *)
 
 val rng : t -> Random.State.t
 (** A fresh PRNG seeded from [t.seed]. Every call returns an identical

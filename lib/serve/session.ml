@@ -101,8 +101,9 @@ let parse_graph spec =
    temperature-dependent cache counters are reported separately. *)
 let work_counter_names =
   [
-    "labelings_checked"; "candidates_generated"; "connected"; "classes";
-    "dedup_hits"; "kept"; "checked"; "passed"; "violations";
+    "labelings_checked"; "orbit_pruned_branches"; "candidates_generated";
+    "connected"; "classes"; "dedup_hits"; "kept"; "checked"; "passed";
+    "violations";
   ]
 
 let cache_counter_names =

@@ -339,6 +339,144 @@ let test_sweep_keep_filter () =
     (s.Sweep.counters.Sweep.kept < s.Sweep.counters.Sweep.classes)
 
 (* ------------------------------------------------------------------ *)
+(* sharding and checkpoints                                            *)
+
+let test_shard_partition () =
+  (* record which classes each shard actually checks: the K slices must
+     partition the unsharded stream exactly, and each class must land
+     on the shard shard_of_key names *)
+  let collect ?shard () =
+    let seen = ref [] in
+    ignore
+      (Sweep.run ~cfg:(cfg 1) ?shard ~n:6
+         ~check:(fun g ->
+           seen := Chunk.wide_mask_of_graph g :: !seen;
+           None)
+         ());
+    List.sort compare !seen
+  in
+  let full = collect () in
+  let k = 3 in
+  let parts = List.init k (fun i -> collect ~shard:(i, k) ()) in
+  check_bool "shards union to the full stream" true
+    (List.sort compare (List.concat parts) = full);
+  check_int "shards are pairwise disjoint" (List.length full)
+    (List.fold_left (fun a p -> a + List.length p) 0 parts);
+  check_bool "no shard is empty at n=6 / K=3" true
+    (List.for_all (fun p -> p <> []) parts);
+  List.iteri
+    (fun i p ->
+      List.iter
+        (fun key ->
+          check_int "shard_of_key owns its classes" i
+            (Sweep.shard_of_key ~shards:k key))
+        p)
+    parts;
+  (* shard counters are jobs-invariant, like everything else *)
+  List.init k Fun.id
+  |> List.iter (fun i ->
+         let s1 = Sweep.run ~cfg:(cfg 1) ~shard:(i, k) ~n:6 ~check:violation_check () in
+         let s4 = Sweep.run ~cfg:(cfg 4) ~shard:(i, k) ~n:6 ~check:violation_check () in
+         check_bool "shard counters jobs-invariant" true
+           (s1.Sweep.counters = s4.Sweep.counters))
+
+let test_shard_out_of_range () =
+  List.iter
+    (fun shard ->
+      Alcotest.check_raises "shard validation" (Invalid_argument "Sweep.run: shard index out of range")
+        (fun () ->
+          ignore (Sweep.run ~shard ~n:4 ~check:(fun _ -> None) ())))
+    [ (2, 2); (-1, 2); (0, 0) ]
+
+(* One checkpointed sweep killed mid-stream (the check raises), then
+   resumed to completion: the final checkpoint must be bit-identical
+   to an uninterrupted run's, and the resumed run's metrics must cover
+   the whole logical sweep (resumed credit + new work). *)
+let test_checkpoint_kill_resume () =
+  let tmp suffix = Filename.temp_file "lcp_ck" suffix in
+  let ref_path = tmp "_ref.json" and path = tmp ".json" in
+  let policy p resume = { Checkpoint.path = p; resume; tag = "ck-test" } in
+  let run_ck p resume jobs check =
+    let c = cfg jobs in
+    let s =
+      Sweep.run ~cfg:c ~checkpoint:(policy p resume) ~n:6
+        ~check:(fun g ->
+          Lcp_obs.Run_cfg.count c "labelings_checked";
+          check g)
+        ()
+    in
+    (s, Lcp_obs.Metrics.counter c.Lcp_obs.Run_cfg.metrics "labelings_checked")
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ ref_path; path ])
+    (fun () ->
+      (* uninterrupted reference *)
+      let s_ref, m_ref = run_ck ref_path false 2 violation_check in
+      check_bool "reference finds violations" true
+        (s_ref.Sweep.counterexample <> None);
+      (* kill: the check raises partway into the second chunk *)
+      let calls = ref 0 in
+      let exception Killed in
+      (try
+         ignore
+           (run_ck path false 1 (fun g ->
+                incr calls;
+                if !calls > 40 then raise Killed;
+                violation_check g))
+       with Killed -> ());
+      (match Checkpoint.load path with
+      | Error msg -> Alcotest.fail msg
+      | Ok c ->
+          check_bool "killed checkpoint is incomplete" false
+            c.Checkpoint.complete;
+          check_bool "killed checkpoint made progress" true
+            (c.Checkpoint.completed > 0));
+      (* resume to completion *)
+      let s_res, m_res = run_ck path true 2 violation_check in
+      check_bool "summaries identical" true
+        (s_ref.Sweep.counters = s_res.Sweep.counters
+        && s_ref.Sweep.counterexample = s_res.Sweep.counterexample);
+      check_int "metrics cover the logical sweep" m_ref m_res;
+      (* the on-disk checkpoints are bit-identical *)
+      match (Checkpoint.load ref_path, Checkpoint.load path) with
+      | Ok a, Ok b -> check_bool "checkpoints bit-identical" true (a = b)
+      | _ -> Alcotest.fail "final checkpoints unreadable")
+
+let test_checkpoint_rejects_search_mode () =
+  Alcotest.check_raises "checkpoint mode validation"
+    (Invalid_argument "Sweep.run: checkpoints require Exhaustive mode")
+    (fun () ->
+      ignore
+        (Sweep.run ~mode:Sweep.Search_counterexample
+           ~checkpoint:{ Checkpoint.path = "/nonexistent"; resume = false; tag = "x" }
+           ~n:4 ~check:(fun _ -> None) ()))
+
+let test_checkpoint_merge_validation () =
+  (* merge is picky: wrong shard sets and incomplete shards refuse *)
+  let path = Filename.temp_file "lcp_ck" "_m.json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore
+        (Sweep.run
+           ~checkpoint:{ Checkpoint.path; resume = false; tag = "m" }
+           ~shard:(0, 2) ~n:5 ~check:(fun _ -> None) ());
+      match Checkpoint.load path with
+      | Error msg -> Alcotest.fail msg
+      | Ok c0 ->
+          (match Checkpoint.merge [ c0 ] with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "merge accepted a missing shard");
+          (match Checkpoint.merge [ c0; { c0 with Checkpoint.complete = false; shard = 1 } ] with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "merge accepted an incomplete shard");
+          (match Checkpoint.merge [ c0; { c0 with Checkpoint.shard = 1 } ] with
+          | Ok m ->
+              check_int "merged kept sums" (2 * c0.Checkpoint.kept)
+                m.Checkpoint.kept
+          | Error msg -> Alcotest.fail msg))
+
+(* ------------------------------------------------------------------ *)
 (* heavy regressions: n = 7, n = 8                                     *)
 
 let test_n7_classes () =
@@ -377,6 +515,18 @@ let test_n8_frontier () =
     Sweep.clear_cache ()
   end
 
+let test_n9_frontier () =
+  (* the orbit-era frontier: 261,080 connected classes on 9 nodes
+     (OEIS A001349), far past the mask scan's 30-bit cap — only the
+     orderly generator (and the wide class keys) get here *)
+  if not heavy_enabled then ()
+  else begin
+    Sweep.clear_cache ();
+    check_int "261080 connected classes on 9 nodes" 261_080
+      (List.length (Sweep.iso_classes ~cfg:(cfg 0) 9));
+    Sweep.clear_cache ()
+  end
+
 let suite =
   [
     case "bits popcount" test_bits_popcount;
@@ -400,6 +550,12 @@ let suite =
     case "sweep verdicts deterministic in jobs" test_sweep_deterministic_across_jobs;
     case "sweep on a clean space" test_sweep_clean_space;
     case "sweep keep filter" test_sweep_keep_filter;
+    case "shards partition the class stream" test_shard_partition;
+    case "shard validation" test_shard_out_of_range;
+    slow_case "checkpoint kill + resume = uninterrupted" test_checkpoint_kill_resume;
+    case "checkpoint rejects search mode" test_checkpoint_rejects_search_mode;
+    case "checkpoint merge validation" test_checkpoint_merge_validation;
     slow_case "853 classes on n=7 (LCP_HEAVY)" test_n7_classes;
     slow_case "11117 classes on n=8 (LCP_HEAVY)" test_n8_frontier;
+    slow_case "261080 classes on n=9 (LCP_HEAVY)" test_n9_frontier;
   ]
