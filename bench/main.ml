@@ -827,6 +827,7 @@ let series_serve ~fast () =
                          n = 5;
                          strategy = "orderly";
                          early_exit = false;
+                         shards = 1;
                        }),
                   if fast then 5 else 25 );
               ]))
@@ -861,6 +862,191 @@ let write_serve_json path rows =
       output_string oc (Json.to_string_pretty doc);
       output_string oc "\n");
   Printf.printf "serve series written to %s\n" path
+
+(* The PR-10 tentpole series: the coordinator's scaling story at one
+   fixed partition (degree-one, shards=4, n=8; n=6 under --fast).
+   Three supervised runs at workers = 1 / 2 / 4 give the scaling
+   curve; a raw baseline forks the same four shard subprocesses with
+   no supervision (the manual shell recipe the coordinator replaces)
+   to price its overhead; and a recovery row SIGKILLs one worker
+   mid-sweep to price restart-from-checkpoint. Every run's merged
+   report must be byte-identical. Returns the BENCH_coord.json
+   document, or None when the sibling lcp binary is not built. *)
+let series_coord ~fast () =
+  let bin =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/main.exe"
+  in
+  if not (Sys.file_exists bin) then begin
+    Printf.printf "\n== series: coordinated sweeps skipped (%s not built)\n"
+      bin;
+    None
+  end
+  else begin
+    let n = if fast then 6 else 8 in
+    let shards = 4 in
+    Printf.printf
+      "\n== series: coordinated n=%d soundness sweep, degree-one, shards=%d \
+       (tentpole)\n"
+      n shards;
+    Printf.printf "%-28s %12s %10s %10s\n" "run" "wall(s)" "launched"
+      "restarts";
+    let fresh_dir =
+      let c = ref 0 in
+      fun () ->
+        incr c;
+        let d =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "lcp-bench-coord-%d-%d" (Unix.getpid ()) !c)
+        in
+        Unix.mkdir d 0o700;
+        d
+    in
+    let rm_rf d =
+      if Sys.file_exists d then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+          (Sys.readdir d);
+        try Unix.rmdir d with Unix.Unix_error _ -> ()
+      end
+    in
+    let coord ?inject_kill ~workers () =
+      let dir = fresh_dir () in
+      Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+      let config =
+        {
+          (Lcp_serve.Coordinator.default_config ~decoder:"degree-one" ~n
+             ~shards ~dir)
+          with
+          Lcp_serve.Coordinator.workers;
+          executor = Lcp_serve.Coordinator.Subprocess { bin };
+          poll_s = 0.01;
+          backoff_base_s = 0.01;
+          inject_kill;
+        }
+      in
+      match Lcp_serve.Coordinator.run config with
+      | Error msg -> failwith ("bench coord: " ^ msg)
+      | Ok o -> o
+    in
+    (* the manual recipe: all four shard shells at once, no supervisor *)
+    let raw () =
+      let dir = fresh_dir () in
+      Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+      let shard_path i =
+        Filename.concat dir (Printf.sprintf "shard-%d.json" i)
+      in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+      let t0 = Unix.gettimeofday () in
+      let pids =
+        List.init shards (fun i ->
+            Unix.create_process bin
+              [|
+                bin; "sweep"; "degree-one";
+                "-n"; string_of_int n;
+                "-j"; "1";
+                "--shards"; string_of_int shards;
+                "--shard"; string_of_int i;
+                "--checkpoint"; shard_path i;
+              |]
+              devnull devnull devnull)
+      in
+      List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+      let wall = Unix.gettimeofday () -. t0 in
+      Unix.close devnull;
+      let cks =
+        List.init shards (fun i ->
+            match Lcp_engine.Checkpoint.load (shard_path i) with
+            | Ok ck -> ck
+            | Error e -> failwith ("bench coord raw: " ^ e))
+      in
+      match Lcp_engine.Checkpoint.merge cks with
+      | Error e -> failwith ("bench coord raw merge: " ^ e)
+      | Ok merged ->
+          ( wall,
+            Json.to_string_pretty (Lcp_engine.Checkpoint.report_json merged) )
+    in
+    let runs = List.map (fun w -> (w, coord ~workers:w ())) [ 1; 2; 4 ] in
+    List.iter
+      (fun (w, o) ->
+        Printf.printf "%-28s %12.3f %10d %10d\n"
+          (Printf.sprintf "coordinator workers=%d" w)
+          o.Lcp_serve.Coordinator.wall_s o.Lcp_serve.Coordinator.launched
+          o.Lcp_serve.Coordinator.restarts)
+      runs;
+    let raw_wall, raw_report = raw () in
+    Printf.printf "%-28s %12.3f %10d %10s\n" "raw shard shells" raw_wall
+      shards "-";
+    let recovery = coord ~inject_kill:0 ~workers:4 () in
+    Printf.printf "%-28s %12.3f %10d %10d\n" "recovery (SIGKILL shard 0)"
+      recovery.Lcp_serve.Coordinator.wall_s
+      recovery.Lcp_serve.Coordinator.launched
+      recovery.Lcp_serve.Coordinator.restarts;
+    let report o = Json.to_string_pretty o.Lcp_serve.Coordinator.report in
+    let identical =
+      note_identical ~where:"coord merged reports"
+        (List.for_all
+           (fun r -> String.equal r raw_report)
+           (report recovery :: List.map (fun (_, o) -> report o) runs))
+    in
+    Some
+      ( n,
+        shards,
+        List.map (fun (w, o) -> (w, o.Lcp_serve.Coordinator.wall_s)) runs,
+        raw_wall,
+        recovery.Lcp_serve.Coordinator.wall_s,
+        recovery.Lcp_serve.Coordinator.restarts,
+        identical )
+  end
+
+let write_coord_json path doc =
+  match doc with
+  | None -> Printf.printf "coord series skipped; %s not written\n" path
+  | Some
+      (n, shards, worker_rows, raw_wall, recovery_wall, recovery_restarts,
+       identical) ->
+      let ns s = int_of_float (s *. 1e9) in
+      let full_width_wall =
+        match List.assoc_opt shards worker_rows with
+        | Some w -> w
+        | None -> raw_wall
+      in
+      let doc =
+        Json.Obj
+          [
+            ("schema_version", Json.Int bench_schema_version);
+            ("decoder", Json.String "degree-one");
+            ("n", Json.Int n);
+            ("shards", Json.Int shards);
+            ( "workers",
+              Json.List
+                (List.map
+                   (fun (w, wall) ->
+                     Json.Obj
+                       [
+                         ("workers", Json.Int w);
+                         ("wall_ns", Json.Int (ns wall));
+                       ])
+                   worker_rows) );
+            ("raw_shards_wall_ns", Json.Int (ns raw_wall));
+            ( "coordinator_overhead_ns",
+              Json.Int (ns (full_width_wall -. raw_wall)) );
+            ( "recovery",
+              Json.Obj
+                [
+                  ("wall_ns", Json.Int (ns recovery_wall));
+                  ("restarts", Json.Int recovery_restarts);
+                ] );
+            ("identical", Json.Bool identical);
+          ]
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Json.to_string_pretty doc);
+          output_string oc "\n");
+      Printf.printf "coord series written to %s\n" path
 
 let series_sync () =
   Printf.printf
@@ -1176,9 +1362,13 @@ let () =
   let orbit_shards = series_orbit_shards ~fast () in
   let sweep_rows = series_engine_sweep ~fast () in
   let serve_rows = series_serve ~fast () in
+  let coord_doc = series_coord ~fast () in
   let race_rows = series_race ~fast () in
   series_sync ();
   write_sweep_json metrics_out sweep_rows;
+  write_coord_json
+    (Filename.concat (Filename.dirname metrics_out) "BENCH_coord.json")
+    coord_doc;
   write_race_json
     (Filename.concat (Filename.dirname metrics_out) "BENCH_race.json")
     race_rows;

@@ -278,8 +278,8 @@ let invariance_check ~checker dec ~trials rng instances =
 (* ------------------------------------------------------------------ *)
 (* engine sweeps: soundness over the whole n-node graph space          *)
 
-let soundness_sweep ?cfg ?strategy ?shard ?checkpoint ?(early_exit = false)
-    (suite : Decoder.suite) ~n =
+let soundness_sweep ?cfg ?strategy ?shard ?checkpoint ?on_chunk ?max_chunks
+    ?(early_exit = false) (suite : Decoder.suite) ~n =
   let mode =
     if early_exit then Lcp_engine.Sweep.Search_counterexample
     else Lcp_engine.Sweep.Exhaustive
@@ -287,7 +287,8 @@ let soundness_sweep ?cfg ?strategy ?shard ?checkpoint ?(early_exit = false)
   (* materialize the counter: a sweep that keeps zero classes must
      still serialize the same key set *)
   count_labelings cfg 0;
-  Lcp_engine.Sweep.run ?cfg ?strategy ?shard ?checkpoint ~mode ~n
+  Lcp_engine.Sweep.run ?cfg ?strategy ?shard ?checkpoint ?on_chunk ?max_chunks
+    ~mode ~n
     ~keep:(fun g -> not (Coloring.is_bipartite g))
     ~check:(fun g ->
       let inst = Instance.make g in

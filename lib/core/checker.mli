@@ -45,6 +45,8 @@ val soundness_sweep :
   ?strategy:Lcp_engine.Sweep.strategy ->
   ?shard:int * int ->
   ?checkpoint:Lcp_engine.Checkpoint.policy ->
+  ?on_chunk:(completed:int -> total:int -> unit) ->
+  ?max_chunks:int ->
   ?early_exit:bool ->
   Decoder.suite ->
   n:int ->
@@ -60,7 +62,9 @@ val soundness_sweep :
     (the returned counterexample is still the minimal one). [shard]
     and [checkpoint] pass through to {!Lcp_engine.Sweep.run}: slice
     the class stream K ways, and/or persist resumable progress
-    (Exhaustive mode only). [cfg] supplies the domain count and
+    (Exhaustive mode only), as do the checkpointed-run hooks
+    [on_chunk] (per-chunk progress callback) and [max_chunks]
+    (deterministic preemption). [cfg] supplies the domain count and
     collects the sweep's spans and counters, including
     [labelings_checked] from the per-class certificate searches. *)
 

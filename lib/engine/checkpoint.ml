@@ -26,7 +26,16 @@ type t = {
   violating_keys : int list;
   labelings : int;
   complete : bool;
+  saved_at : int;
 }
+
+let timestamp_utc s =
+  if s <= 0 then "unknown"
+  else
+    let tm = Unix.gmtime (float_of_int s) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
 
 (* ------------------------------------------------------------------ *)
 (* JSON codec                                                          *)
@@ -61,6 +70,7 @@ let to_json t =
         Json.List (List.map (fun k -> Json.Int k) t.violating_keys) );
       ("labelings_checked", Json.Int t.labelings);
       ("complete", Json.Bool t.complete);
+      ("saved_at", Json.Int t.saved_at);
     ]
 
 let ( let* ) = Json.( let* )
@@ -108,6 +118,13 @@ let of_json j =
     let* violating_keys = Json.map_m Json.to_int vk in
     let* labelings = field_int j "labelings_checked" in
     let* complete = field_bool j "complete" in
+    (* Heartbeat added after schema 1 shipped: absent in older files,
+       tolerated as 0 ("unknown") rather than bumping the schema. *)
+    let* saved_at =
+      match Json.member "saved_at" j with
+      | Error _ -> Ok 0
+      | Ok v -> Json.to_int v
+    in
     Ok
       {
         tag;
@@ -126,12 +143,17 @@ let of_json j =
         violating_keys;
         labelings;
         complete;
+        saved_at;
       }
 
 (* ------------------------------------------------------------------ *)
 (* disk discipline: write-to-tmp then rename, same as Sink             *)
 
-let save ~path t =
+let save ?now ~path t =
+  let saved_at =
+    match now with Some s -> s | None -> int_of_float (Unix.time ())
+  in
+  let t = { t with saved_at } in
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   Fun.protect
@@ -177,8 +199,11 @@ let merge = function
             | None ->
                 if not c.complete then
                   Some
-                    (Printf.sprintf "merge: shard %d/%d is incomplete" c.shard
-                       c.shards)
+                    (Printf.sprintf
+                       "merge: shard %d/%d is incomplete: %d/%d classes done \
+                        (next chunk starts at class %d; last checkpoint %s)"
+                       c.shard c.shards c.completed c.kept c.completed
+                       (timestamp_utc c.saved_at))
                 else None)
           cks
       in
@@ -211,6 +236,7 @@ let merge = function
                     (List.concat_map (fun c -> c.violating_keys) cks);
                 labelings = sum (fun c -> c.labelings);
                 complete = true;
+                saved_at = 0;
               })
 
 (* The merged-report rendering drops every shard-relative field

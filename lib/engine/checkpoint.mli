@@ -59,6 +59,12 @@ type t = {
       (** the sweep's [labelings_checked] contribution so far,
           including any resumed-from checkpoint's share *)
   complete : bool;  (** [completed = kept] *)
+  saved_at : int;
+      (** heartbeat: epoch seconds at the moment {!save} wrote the
+          file, 0 when unknown (in-memory records that were never
+          saved, files written before the field existed, {!merge}
+          results). A supervisor watching the file treats a stale
+          [saved_at] on a live process as a stalled worker. *)
 }
 
 type policy = { path : string; resume : bool; tag : string }
@@ -69,10 +75,12 @@ type policy = { path : string; resume : bool; tag : string }
 val to_json : t -> Lcp_obs.Json.t
 val of_json : Lcp_obs.Json.t -> (t, string) result
 
-val save : path:string -> t -> unit
+val save : ?now:int -> path:string -> t -> unit
 (** Atomic write: serialize to [path ^ ".tmp"], then rename over
     [path] — a kill mid-write leaves the previous checkpoint intact
-    (the same discipline {!Lcp_obs.Sink} uses). *)
+    (the same discipline {!Lcp_obs.Sink} uses). Stamps [saved_at]
+    with [now] (default: the current epoch second), so every write
+    doubles as a liveness heartbeat. *)
 
 val load : string -> (t, string) result
 (** Read and decode; I/O, parse and schema errors all come back as
@@ -84,11 +92,16 @@ val header_mismatch : t -> t -> string option
     or [None] when they describe the same sweep. {!Sweep} uses it to
     refuse a foreign resume; {!merge} uses it across shards. *)
 
+val timestamp_utc : int -> string
+(** Render a [saved_at] heartbeat as an ISO-8601 UTC instant
+    ("2026-08-09T12:34:56Z"), or ["unknown"] for 0. *)
+
 val merge : t list -> (t, string) result
 (** Fold the per-shard checkpoints of one sweep into the unsharded
     totals: validates that every header field and the enumeration
     tallies agree, that each of shards [0..shards-1] appears exactly
-    once, and that all are complete; then sums [kept] / [checked] /
+    once, and that all are complete (an incomplete shard is reported
+    with its index, progress, and last heartbeat); then sums [kept] / [checked] /
     [passed] / [violations] / [labelings], sorts the union of
     [violating_keys], and resets the shard coordinates to the
     unsharded [1/0]. Merging the single checkpoint of an unsharded run

@@ -237,6 +237,16 @@ type 'c summary = {
 
 module M = Lcp_obs.Metrics
 
+(* Below this many kept classes the domain pool costs more than the
+   work (BENCH_sweep.json: n=5 par_wall > seq_wall): spawn/join of N
+   domains dwarfs a few hundred microseconds of checking. [Pool.run]
+   with [jobs = 1] runs sequentially on the calling domain with zero
+   spawns, and every sweep counter is jobs-invariant by construction,
+   so the bypass changes wall-clock only. *)
+let small_sweep_cutoff = 64
+
+let effective_jobs ~jobs ~kept = if kept < small_sweep_cutoff then 1 else jobs
+
 (* The checkpointed exhaustive runner: targets are consumed in chunks
    of [max 32 (4 * jobs)] classes, and after every chunk the full
    counter state is written atomically to [policy.path]. A resumed run
@@ -249,7 +259,7 @@ module M = Lcp_obs.Metrics
    in the metrics {e after} the final checkpoint write, so on-disk
    counters stay bit-identical to an uninterrupted run's). *)
 let run_checkpointed ~cfg ~jobs ~strategy ~connected ~n ~shards ~shard ~e
-    ~targets ~kept ~check (policy : Checkpoint.policy) =
+    ~targets ~kept ~check ~on_chunk ~max_chunks (policy : Checkpoint.policy) =
   let enum =
     {
       Checkpoint.candidates = e.e_candidates;
@@ -276,6 +286,7 @@ let run_checkpointed ~cfg ~jobs ~strategy ~connected ~n ~shards ~shard ~e
       violating_keys = [];
       labelings = 0;
       complete = kept = 0;
+      saved_at = 0;
     }
   in
   let resumed = policy.Checkpoint.resume && Sys.file_exists policy.Checkpoint.path in
@@ -313,15 +324,20 @@ let run_checkpointed ~cfg ~jobs ~strategy ~connected ~n ~shards ~shard ~e
     M.counter cfg.R.metrics "labelings_checked" - state.Checkpoint.labelings
   in
   let chunk = max 32 (4 * jobs) in
+  let pool_jobs = effective_jobs ~jobs ~kept in
   let st = ref state in
   if (not !st.Checkpoint.complete) || not resumed then
     Checkpoint.save ~path:policy.Checkpoint.path !st;
-  while not !st.Checkpoint.complete do
+  let chunks_done = ref 0 in
+  let within_budget () =
+    match max_chunks with None -> true | Some m -> !chunks_done < m
+  in
+  while (not !st.Checkpoint.complete) && within_budget () do
     let s = !st in
     let lo = s.Checkpoint.completed in
     let hi = min kept (lo + chunk) in
     let verdicts =
-      Pool.run ~metrics:cfg.R.metrics ~jobs (hi - lo) (fun i ->
+      Pool.run ~metrics:cfg.R.metrics ~jobs:pool_jobs (hi - lo) (fun i ->
           check targets.(lo + i))
     in
     let viol = ref 0 and keys = ref [] in
@@ -347,9 +363,18 @@ let run_checkpointed ~cfg ~jobs ~strategy ~connected ~n ~shards ~shard ~e
       }
     in
     Checkpoint.save ~path:policy.Checkpoint.path s;
+    incr chunks_done;
+    on_chunk ~completed:s.Checkpoint.completed ~total:kept;
     st := s
   done;
   let s = !st in
+  if not s.Checkpoint.complete then
+    (* preempted by [max_chunks]: the checkpoint on disk holds the
+       completed prefix and a later [--resume] continues it. No
+       counterexample materialization — the minimal violating key may
+       still be ahead of us. *)
+    (s.Checkpoint.checked, s.Checkpoint.passed, s.Checkpoint.violations, None)
+  else
   let counterexample =
     match s.Checkpoint.violating_keys with
     | [] -> None
@@ -368,8 +393,9 @@ let run_checkpointed ~cfg ~jobs ~strategy ~connected ~n ~shards ~shard ~e
    counterexample)
 
 let run ?(cfg = R.default) ?(strategy = Orderly) ?(mode = Exhaustive)
-    ?(connected = true) ?shard ?checkpoint ?(keep = fun _ -> true) ~n ~check ()
-    =
+    ?(connected = true) ?shard ?checkpoint
+    ?(on_chunk = fun ~completed:_ ~total:_ -> ()) ?max_chunks
+    ?(keep = fun _ -> true) ~n ~check () =
   (match shard with
   | Some (i, k) when k < 1 || i < 0 || i >= k ->
       invalid_arg "Sweep.run: shard index out of range"
@@ -377,6 +403,10 @@ let run ?(cfg = R.default) ?(strategy = Orderly) ?(mode = Exhaustive)
   (match (checkpoint, mode) with
   | Some _, Search_counterexample ->
       invalid_arg "Sweep.run: checkpoints require Exhaustive mode"
+  | _ -> ());
+  (match (checkpoint, max_chunks) with
+  | None, Some _ -> invalid_arg "Sweep.run: max_chunks requires a checkpoint"
+  | _, Some m when m < 1 -> invalid_arg "Sweep.run: max_chunks must be >= 1"
   | _ -> ());
   R.span cfg "sweep" (fun () ->
       let t0 = Lcp_obs.Clock.now_s () in
@@ -402,10 +432,12 @@ let run ?(cfg = R.default) ?(strategy = Orderly) ?(mode = Exhaustive)
                 match checkpoint with
                 | Some policy ->
                     run_checkpointed ~cfg ~jobs ~strategy ~connected ~n ~shards
-                      ~shard:shard_ix ~e ~targets ~kept ~check policy
+                      ~shard:shard_ix ~e ~targets ~kept ~check ~on_chunk
+                      ~max_chunks policy
                 | None ->
                     let verdicts =
-                      Pool.run ~metrics:cfg.R.metrics ~jobs kept (fun i ->
+                      Pool.run ~metrics:cfg.R.metrics
+                        ~jobs:(effective_jobs ~jobs ~kept) kept (fun i ->
                           check targets.(i))
                     in
                     let violations = ref 0 and first = ref None in
@@ -421,7 +453,8 @@ let run ?(cfg = R.default) ?(strategy = Orderly) ?(mode = Exhaustive)
             | Search_counterexample ->
                 let checked = Sync.A.make "engine/sweep.checked" 0 in
                 let hit =
-                  Pool.search ~metrics:cfg.R.metrics ~jobs kept (fun i ->
+                  Pool.search ~metrics:cfg.R.metrics
+                    ~jobs:(effective_jobs ~jobs ~kept) kept (fun i ->
                       Sync.A.incr checked;
                       check targets.(i))
                 in

@@ -106,6 +106,14 @@ val shard_of_class : shards:int -> Graph.t -> int
 
 (** {1 Sweeps} *)
 
+val small_sweep_cutoff : int
+(** Kept-class counts below this run on the calling domain with the
+    pool bypassed ([jobs] forced to 1): at n <= 5 scales the domain
+    spawn/join overhead exceeds the checking work itself
+    (BENCH_sweep.json showed the parallel n=5 sweep {e slower} than
+    sequential). Counters are jobs-invariant either way; the bypass
+    only removes wall-clock overhead. *)
+
 type mode =
   | Exhaustive
       (** Check every class; count passed and violations. *)
@@ -154,6 +162,8 @@ val run :
   ?connected:bool ->
   ?shard:int * int ->
   ?checkpoint:Checkpoint.policy ->
+  ?on_chunk:(completed:int -> total:int -> unit) ->
+  ?max_chunks:int ->
   ?keep:(Graph.t -> bool) ->
   n:int ->
   check:(Graph.t -> 'c option) ->
@@ -186,6 +196,16 @@ val run :
     minimal-key counterexample by re-running [check] once after the
     final checkpoint write — that rerun's work lands in the metrics
     but never in the file, so on-disk counters are bit-identical to an
-    uninterrupted run's. *)
+    uninterrupted run's.
+
+    [on_chunk] fires after every checkpoint write (checkpointed runs
+    only) with the shard-local progress — the hook a supervisor's
+    progress stream hangs off. [max_chunks] (checkpointed runs only,
+    [Invalid_argument] otherwise) stops the sweep after that many
+    chunk writes, leaving a valid {e incomplete} checkpoint on disk —
+    deterministic preemption, used by tests and CI to simulate a
+    worker dying mid-sweep without racing a signal against the chunk
+    loop. A preempted summary carries the completed prefix's counters
+    and no counterexample. *)
 
 val pp_summary : Format.formatter -> 'c summary -> unit

@@ -207,6 +207,7 @@ let serve_run () =
                    n = 4;
                    strategy = "orderly";
                    early_exit = false;
+                   shards = 1;
                  })
           in
           let ok r =

@@ -11,6 +11,7 @@ type run_opts = {
   seed : int option;
   deadline_ms : int option;
   eval_cache : bool option;
+  orbit_prune : bool option;
   progress : bool;
 }
 
@@ -21,6 +22,7 @@ let default_opts =
     seed = None;
     deadline_ms = None;
     eval_cache = None;
+    orbit_prune = None;
     progress = false;
   }
 
@@ -30,7 +32,20 @@ type kind =
   | Shutdown
   | Check of { decoder : string; graph : string }
   | Prove of { decoder : string; graph : string }
-  | Sweep of { decoder : string; n : int; strategy : string; early_exit : bool }
+  | Sweep of {
+      decoder : string;
+      n : int;
+      strategy : string;
+      early_exit : bool;
+      shards : int;
+    }
+  | Sweep_shard of {
+      decoder : string;
+      n : int;
+      strategy : string;
+      shards : int;
+      shard : int;
+    }
   | Lint of { decoders : string list; max_n : int option; samples : int option }
 
 type request = { kind : kind; opts : run_opts }
@@ -42,11 +57,12 @@ let kind_name = function
   | Check _ -> "check"
   | Prove _ -> "prove"
   | Sweep _ -> "sweep"
+  | Sweep_shard _ -> "sweep-shard"
   | Lint _ -> "lint"
 
 let is_control = function
   | Ping | Metrics | Shutdown -> true
-  | Check _ | Prove _ | Sweep _ | Lint _ -> false
+  | Check _ | Prove _ | Sweep _ | Sweep_shard _ | Lint _ -> false
 
 (* Tolerant accessors: absent members become defaults, members of the
    wrong shape are errors. Unknown members are ignored throughout —
@@ -75,8 +91,9 @@ let opts_of_json json =
   let* seed = opt_int "seed" json in
   let* deadline_ms = opt_int "deadline_ms" json in
   let* eval_cache = opt_bool "eval_cache" json in
+  let* orbit_prune = opt_bool "orbit_prune" json in
   let* progress = opt_member "progress" to_bool json ~default:false in
-  Ok { jobs; heavy; seed; deadline_ms; eval_cache; progress }
+  Ok { jobs; heavy; seed; deadline_ms; eval_cache; orbit_prune; progress }
 
 let request_of_json json =
   let open Json in
@@ -106,7 +123,15 @@ let request_of_json json =
           let* early_exit =
             opt_member "early_exit" to_bool json ~default:false
           in
-          Ok (Sweep { decoder; n; strategy; early_exit })
+          let* shards = opt_member "shards" to_int json ~default:1 in
+          Ok (Sweep { decoder; n; strategy; early_exit; shards })
+      | "sweep-shard" ->
+          let* decoder = opt_str "decoder" json ~default:"degree-one" in
+          let* n = opt_member "n" to_int json ~default:6 in
+          let* strategy = opt_str "strategy" json ~default:"orderly" in
+          let* shards = opt_member "shards" to_int json ~default:1 in
+          let* shard = opt_member "shard" to_int json ~default:0 in
+          Ok (Sweep_shard { decoder; n; strategy; shards; shard })
       | "lint" ->
           let* decoders =
             opt_member "decoders"
@@ -133,12 +158,23 @@ let request_to_json { kind; opts } =
     | Ping | Metrics | Shutdown -> []
     | Check { decoder; graph } | Prove { decoder; graph } ->
         [ ("decoder", Json.String decoder); ("graph", Json.String graph) ]
-    | Sweep { decoder; n; strategy; early_exit } ->
+    | Sweep { decoder; n; strategy; early_exit; shards } ->
         [
           ("decoder", Json.String decoder);
           ("n", Json.Int n);
           ("strategy", Json.String strategy);
           ("early_exit", Json.Bool early_exit);
+        ]
+        (* emitted only when sharded: unsharded sweeps keep their
+           pre-coordinator wire bytes (and coalesce keys) *)
+        @ (if shards <> 1 then [ ("shards", Json.Int shards) ] else [])
+    | Sweep_shard { decoder; n; strategy; shards; shard } ->
+        [
+          ("decoder", Json.String decoder);
+          ("n", Json.Int n);
+          ("strategy", Json.String strategy);
+          ("shards", Json.Int shards);
+          ("shard", Json.Int shard);
         ]
     | Lint { decoders; max_n; samples } ->
         (("decoders", Json.List (List.map (fun d -> Json.String d) decoders))
@@ -151,6 +187,7 @@ let request_to_json { kind; opts } =
     @ opt "seed" (fun v -> Json.Int v) opts.seed
     @ opt "deadline_ms" (fun v -> Json.Int v) opts.deadline_ms
     @ opt "eval_cache" (fun v -> Json.Bool v) opts.eval_cache
+    @ opt "orbit_prune" (fun v -> Json.Bool v) opts.orbit_prune
     @ (if opts.progress then [ ("progress", Json.Bool true) ] else [])
   in
   Json.Obj (base @ kind_fields @ opt_fields)

@@ -25,6 +25,10 @@ type run_opts = {
   deadline_ms : int option;
       (** budget from {e admission}: queue wait counts against it *)
   eval_cache : bool option;
+  orbit_prune : bool option;
+      (** [Some false] selects the un-pruned certificate-search oracle;
+          coordinators must forward it so remote shards count the same
+          labelings as local ones *)
   progress : bool;  (** stream interim {!event}s before the response *)
 }
 
@@ -39,7 +43,28 @@ type kind =
           soundness search on non-bipartite graphs) *)
   | Prove of { decoder : string; graph : string }
       (** honest-prover certificates for one graph *)
-  | Sweep of { decoder : string; n : int; strategy : string; early_exit : bool }
+  | Sweep of {
+      decoder : string;
+      n : int;
+      strategy : string;
+      early_exit : bool;
+      shards : int;
+          (** 1 = run in-process (the historical behaviour; the field
+              is omitted from the wire form so unsharded requests keep
+              their coalesce keys); K >= 2 = coordinate K shard
+              workers and respond with the merged report *)
+    }
+  | Sweep_shard of {
+      decoder : string;
+      n : int;
+      strategy : string;
+      shards : int;
+      shard : int;
+    }
+      (** one slice of a sharded sweep, run to completion in-process;
+          the response embeds the shard's complete checkpoint so a
+          remote coordinator can {!Lcp_engine.Checkpoint.merge} it.
+          Exhaustive only — early exit would break merge determinism. *)
   | Lint of { decoders : string list; max_n : int option; samples : int option }
 
 type request = { kind : kind; opts : run_opts }

@@ -14,6 +14,8 @@ type limits = {
   max_lint_n : int;
   max_samples : int;
   max_deadline_ms : int option;
+  max_shards : int;
+  shard_bin : string;
 }
 
 let default_limits =
@@ -23,6 +25,8 @@ let default_limits =
     max_lint_n = 5;
     max_samples = 64;
     max_deadline_ms = None;
+    max_shards = 16;
+    shard_bin = Sys.executable_name;
   }
 
 type t = {
@@ -73,6 +77,7 @@ let cfg_of_request t (req : Protocol.request) ~emit =
     ~heavy:(Option.value o.Protocol.heavy ~default:false)
     ?seed:o.Protocol.seed
     ~eval_cache:(Option.value o.Protocol.eval_cache ~default:true)
+    ~orbit_prune:(Option.value o.Protocol.orbit_prune ~default:true)
     ~sink
     ?deadline:(Option.map (fun ms -> float_of_int ms /. 1000.) deadline_ms)
     ()
@@ -226,12 +231,15 @@ let sweep_strategy name =
            (Printf.sprintf "unknown strategy %S (expected orderly or mask-scan)"
               name))
 
-let run_sweep t cfg ~decoder ~n ~strategy ~early_exit =
-  let suite = (find_suite decoder).Lcp.Registry.suite in
-  let strategy = sweep_strategy strategy in
+let check_sweep_bounds t ~n =
   if n < 1 || n > t.limits.max_n then
     raise
-      (Usage (Printf.sprintf "sweep n must be in 1..%d (got %d)" t.limits.max_n n));
+      (Usage (Printf.sprintf "sweep n must be in 1..%d (got %d)" t.limits.max_n n))
+
+let run_sweep_unsharded t cfg ~decoder ~n ~strategy ~early_exit =
+  let suite = (find_suite decoder).Lcp.Registry.suite in
+  let strategy = sweep_strategy strategy in
+  check_sweep_bounds t ~n;
   let summary =
     Lcp.Checker.soundness_sweep ~cfg ~strategy ~early_exit suite ~n
   in
@@ -273,6 +281,139 @@ let run_sweep t cfg ~decoder ~n ~strategy ~early_exit =
       ( "wall_ms",
         Json.Int (int_of_float (summary.Lcp_engine.Sweep.wall_s *. 1000.)) );
     ]
+
+(* A fresh private checkpoint directory per coordinated job: the
+   server may run several coordinated sweeps concurrently and their
+   shard files must not collide. *)
+let fresh_coord_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go i =
+    let d =
+      Filename.concat base (Printf.sprintf "lcp-coord-%d-%d" (Unix.getpid ()) i)
+    in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (i + 1)
+  in
+  go 0
+
+let remove_coord_dir dir =
+  (match Sys.readdir dir with
+  | entries ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        entries
+  | exception Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+(* The coordinated variant: partition into [shards] workers, fork one
+   [shard_bin sweep --shard I/K] child per shard, supervise, merge.
+   The response carries the merged report (the bytes the CI gate cmp's
+   against the unsharded run) plus the coordinator's own tallies. *)
+let run_sweep_coordinated t cfg ~decoder ~n ~strategy ~early_exit ~shards =
+  if early_exit then
+    raise (Usage "coordinated sweeps are exhaustive; drop early_exit");
+  if shards < 2 || shards > t.limits.max_shards then
+    raise
+      (Usage
+         (Printf.sprintf "shards must be in 2..%d (got %d)" t.limits.max_shards
+            shards));
+  check_sweep_bounds t ~n;
+  ignore (find_suite decoder);
+  let strategy = sweep_strategy strategy in
+  let dir = fresh_coord_dir () in
+  Fun.protect
+    ~finally:(fun () -> remove_coord_dir dir)
+    (fun () ->
+      let config =
+        {
+          (Coordinator.default_config ~decoder ~n ~shards ~dir) with
+          Coordinator.strategy;
+          jobs = cfg.Run_cfg.jobs;
+          executor = Coordinator.Subprocess { bin = t.limits.shard_bin };
+          eval_cache = cfg.Run_cfg.eval_cache;
+          orbit_prune = cfg.Run_cfg.orbit_prune;
+        }
+      in
+      match Coordinator.run ~cfg config with
+      | Error msg -> failwith msg
+      | Ok o ->
+          let merged = o.Coordinator.merged in
+          Json.Obj
+            [
+              ( "ok",
+                Json.Bool (merged.Lcp_engine.Checkpoint.violations = 0) );
+              ("decoder", Json.String decoder);
+              ("n", Json.Int n);
+              ( "strategy",
+                Json.String (Lcp_engine.Sweep.strategy_name strategy) );
+              ("shards", Json.Int shards);
+              ("jobs", Json.Int cfg.Run_cfg.jobs);
+              ( "verdict",
+                Json.String
+                  (if merged.Lcp_engine.Checkpoint.violations = 0 then "pass"
+                   else "fail") );
+              ("report", o.Coordinator.report);
+              ("coordinator", Coordinator.outcome_json o);
+              ("counters", counters_json cfg.Run_cfg.metrics work_counter_names);
+              ("cache", counters_json cfg.Run_cfg.metrics cache_counter_names);
+            ])
+
+let run_sweep t cfg ~decoder ~n ~strategy ~early_exit ~shards =
+  if shards = 1 then run_sweep_unsharded t cfg ~decoder ~n ~strategy ~early_exit
+  else run_sweep_coordinated t cfg ~decoder ~n ~strategy ~early_exit ~shards
+
+(* One slice of someone else's sharded sweep, run to completion
+   in-process: the remote half of the coordinator's [Remote] executor.
+   The complete checkpoint rides back inside the payload — merging
+   happens wherever the coordinator lives. *)
+let run_sweep_shard t cfg ~decoder ~n ~strategy ~shards ~shard =
+  let suite = (find_suite decoder).Lcp.Registry.suite in
+  let strategy = sweep_strategy strategy in
+  check_sweep_bounds t ~n;
+  if shards < 1 || shards > t.limits.max_shards then
+    raise
+      (Usage
+         (Printf.sprintf "shards must be in 1..%d (got %d)" t.limits.max_shards
+            shards));
+  if shard < 0 || shard >= shards then
+    raise
+      (Usage (Printf.sprintf "shard must be in 0..%d (got %d)" (shards - 1) shard));
+  let path = Filename.temp_file "lcp-sweep-shard" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let checkpoint = { Lcp_engine.Checkpoint.path; resume = false; tag = decoder } in
+      let summary =
+        Lcp.Checker.soundness_sweep ~cfg ~strategy ~shard:(shard, shards)
+          ~checkpoint
+          ~on_chunk:(fun ~completed ~total ->
+            Run_cfg.progress cfg
+              (Printf.sprintf "shard %d/%d: %d/%d classes" shard shards
+                 completed total))
+          suite ~n
+      in
+      let ck =
+        match Lcp_engine.Checkpoint.load path with
+        | Ok ck -> ck
+        | Error msg -> failwith ("sweep-shard checkpoint: " ^ msg)
+      in
+      let ok = Lcp.Checker.is_pass (Lcp.Checker.verdict_of_sweep summary) in
+      Json.Obj
+        [
+          ("ok", Json.Bool ok);
+          ("decoder", Json.String decoder);
+          ("n", Json.Int n);
+          ("strategy", Json.String (Lcp_engine.Sweep.strategy_name strategy));
+          ("shards", Json.Int shards);
+          ("shard", Json.Int shard);
+          ("jobs", Json.Int cfg.Run_cfg.jobs);
+          ("checkpoint", Lcp_engine.Checkpoint.to_json ck);
+          ("counters", counters_json cfg.Run_cfg.metrics work_counter_names);
+          ("cache", counters_json cfg.Run_cfg.metrics cache_counter_names);
+          ( "wall_ms",
+            Json.Int (int_of_float (summary.Lcp_engine.Sweep.wall_s *. 1000.)) );
+        ])
 
 let run_lint t cfg ~decoders ~max_n ~samples =
   let entries =
@@ -357,8 +498,10 @@ let execute t (req : Protocol.request) cfg =
           match req.Protocol.kind with
           | Protocol.Check { decoder; graph } -> run_check t cfg ~decoder ~graph
           | Protocol.Prove { decoder; graph } -> run_prove t cfg ~decoder ~graph
-          | Protocol.Sweep { decoder; n; strategy; early_exit } ->
-              run_sweep t cfg ~decoder ~n ~strategy ~early_exit
+          | Protocol.Sweep { decoder; n; strategy; early_exit; shards } ->
+              run_sweep t cfg ~decoder ~n ~strategy ~early_exit ~shards
+          | Protocol.Sweep_shard { decoder; n; strategy; shards; shard } ->
+              run_sweep_shard t cfg ~decoder ~n ~strategy ~shards ~shard
           | Protocol.Lint { decoders; max_n; samples } ->
               run_lint t cfg ~decoders ~max_n ~samples
           | Protocol.Ping | Protocol.Metrics | Protocol.Shutdown ->

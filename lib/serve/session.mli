@@ -23,6 +23,14 @@ type limits = {
   max_lint_n : int;
   max_samples : int;
   max_deadline_ms : int option;  (** cap on client deadlines, if any *)
+  max_shards : int;
+      (** cap on coordinated-sweep partition width (and on the
+          [shards] a [sweep-shard] request may claim) *)
+  shard_bin : string;
+      (** executable the coordinator forks shard workers from.
+          Defaults to [Sys.executable_name] — right for the real
+          daemon, overridden by in-process test servers whose
+          executable is the test runner. *)
 }
 
 val default_limits : limits

@@ -60,6 +60,7 @@ let sample_requests =
           seed = Some 7;
           deadline_ms = Some 1500;
           eval_cache = Some false;
+          orbit_prune = Some false;
           progress = true;
         };
     };
@@ -70,8 +71,38 @@ let sample_requests =
     {
       Protocol.kind =
         Protocol.Sweep
-          { decoder = "union"; n = 5; strategy = "mask-scan"; early_exit = true };
+          {
+            decoder = "union";
+            n = 5;
+            strategy = "mask-scan";
+            early_exit = true;
+            shards = 1;
+          };
       opts = { Protocol.default_opts with Protocol.seed = Some 1 };
+    };
+    {
+      Protocol.kind =
+        Protocol.Sweep
+          {
+            decoder = "degree-one";
+            n = 6;
+            strategy = "orderly";
+            early_exit = false;
+            shards = 4;
+          };
+      opts = Protocol.default_opts;
+    };
+    {
+      Protocol.kind =
+        Protocol.Sweep_shard
+          {
+            decoder = "degree-one";
+            n = 6;
+            strategy = "orderly";
+            shards = 3;
+            shard = 2;
+          };
+      opts = Protocol.default_opts;
     };
     {
       Protocol.kind =
@@ -151,11 +182,12 @@ let test_unknown_fields_tolerated () =
   in
   let req = parse_request json in
   match req.Protocol.kind with
-  | Protocol.Sweep { decoder; n; strategy; early_exit } ->
+  | Protocol.Sweep { decoder; n; strategy; early_exit; shards } ->
       check_str "decoder" "degree-one" decoder;
       check_int "n" 4 n;
       check_str "default strategy" "orderly" strategy;
-      check_bool "default early_exit" false early_exit
+      check_bool "default early_exit" false early_exit;
+      check_int "default shards" 1 shards
   | _ -> Alcotest.fail "parsed to the wrong kind"
 
 let test_schema_version_checked () =
@@ -190,7 +222,13 @@ let test_coalesce_key () =
     {
       Protocol.kind =
         Protocol.Sweep
-          { decoder = "degree-one"; n = 5; strategy = "orderly"; early_exit = false };
+          {
+            decoder = "degree-one";
+            n = 5;
+            strategy = "orderly";
+            early_exit = false;
+            shards = 1;
+          };
       opts = { Protocol.default_opts with Protocol.progress; seed };
     }
   in
@@ -297,10 +335,11 @@ let expect_done (resp : Protocol.response) =
          (Option.value resp.Protocol.reason ~default:"-"));
   resp.Protocol.result
 
-let sweep_req ?(opts = Protocol.default_opts) decoder n =
+let sweep_req ?(opts = Protocol.default_opts) ?(shards = 1) decoder n =
   {
     Protocol.kind =
-      Protocol.Sweep { decoder; n; strategy = "orderly"; early_exit = false };
+      Protocol.Sweep
+        { decoder; n; strategy = "orderly"; early_exit = false; shards };
     opts;
   }
 
@@ -495,6 +534,7 @@ let test_coalescing () =
                 n = 6;
                 strategy = "orderly";
                 early_exit = false;
+                shards = 1;
               };
           opts = slow_opts;
         }
